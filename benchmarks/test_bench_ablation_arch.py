@@ -1,0 +1,68 @@
+"""A5/A6 (ours) — architectural and planning-model ablations.
+
+* **Dual-ported RAMs** (Virtex-II style, paper section 2 mentions the
+  family): a second port relieves same-array serialization; the sweep
+  quantifies how much of CPA-RA's advantage survives, since its benefit
+  comes from *cross-array* concurrency, not port count.
+* **Multilevel planning profiles**: the paper's two-point profile
+  (naive baseline -> full replacement) vs the refined multi-level model
+  that knows one register already exploits innermost invariance — does
+  better planning information change the greedy allocations?
+"""
+
+from repro.analysis import build_groups, rank_candidates
+from repro.bench import render_table
+from repro.bench.example import build_example_kernel
+from repro.core import evaluate_kernel
+from repro.hw import VIRTEX2_XC2V1000, XCV1000
+from repro.kernels import build_mat, paper_kernels
+
+
+def test_dual_port_rams(benchmark, once, capsys):
+    kernel = build_mat(n=8)
+
+    def run():
+        single = evaluate_kernel(kernel, budget=32, device=XCV1000, ram_ports=1)
+        dual = evaluate_kernel(kernel, budget=32, device=XCV1000, ram_ports=2)
+        return single, dual
+
+    single, dual = once(benchmark, run)
+    rows = []
+    for algorithm in ("FR-RA", "PR-RA", "CPA-RA"):
+        s = single.design(algorithm).total_cycles
+        d = dual.design(algorithm).total_cycles
+        assert d <= s  # a second port never hurts
+        rows.append([algorithm, s, d, f"{100 * (1 - d / s):+.1f}%"])
+    # CPA-RA still beats FR-RA with dual ports: its win is cross-array.
+    assert (
+        dual.design("CPA-RA").total_cycles
+        <= dual.design("FR-RA").total_cycles
+    )
+    with capsys.disabled():
+        print("\n" + render_table(
+            ["Algorithm", "1-port", "2-port", "gain"],
+            rows,
+            title="A5: MAT cycles, single vs dual-ported RAMs",
+        ))
+
+
+def test_multilevel_profile_ablation(benchmark, once, capsys):
+    kernel = build_example_kernel()
+
+    def run():
+        paper_groups = build_groups(kernel, multilevel=False)
+        multi_groups = build_groups(kernel, multilevel=True)
+        return (
+            [m.group.name for m in rank_candidates(paper_groups)],
+            [m.group.name for m in rank_candidates(multi_groups)],
+        )
+
+    paper_order, multi_order = once(benchmark, run)
+    # Paper-mode reproduces the paper's ranking; the multilevel model
+    # demotes c[j] (its reuse is nearly free at one register already).
+    assert paper_order == ["c[j]", "a[k]", "d[i][k]", "b[k][j]"]
+    assert multi_order[0] != "c[j]"
+    with capsys.disabled():
+        print("\nA6: B/C ranking, paper two-point vs multilevel profiles")
+        print("  paper:      ", " > ".join(paper_order))
+        print("  multilevel: ", " > ".join(multi_order))

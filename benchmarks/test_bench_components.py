@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the pipeline stages (real pytest-benchmark timing).
+
+These measure the reproduction's own components — reuse analysis, DFG
+construction, cut enumeration, each allocator, the cycle counter — so
+performance regressions in the library itself are visible.
+"""
+
+import pytest
+
+from repro.analysis import build_groups
+from repro.bench.example import build_example_kernel
+from repro.core import (
+    CriticalPathAwareAllocator,
+    FullReuseAllocator,
+    KnapsackAllocator,
+    PartialReuseAllocator,
+)
+from repro.dfg import LatencyModel, build_dfg, critical_graph, enumerate_cuts
+from repro.kernels import build_fir
+from repro.sim import count_cycles
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return build_example_kernel()
+
+
+@pytest.fixture(scope="module")
+def groups(kernel):
+    return build_groups(kernel)
+
+
+def test_perf_build_groups(benchmark, kernel):
+    result = benchmark(build_groups, kernel)
+    assert len(result) == 5
+
+
+def test_perf_build_dfg(benchmark, kernel, groups):
+    result = benchmark(build_dfg, kernel, groups)
+    assert len(result) == 7
+
+
+def test_perf_critical_graph(benchmark, kernel, groups):
+    dfg = build_dfg(kernel, groups)
+    model = LatencyModel.realistic()
+    result = benchmark(critical_graph, dfg, model)
+    assert result.makespan > 0
+
+
+def test_perf_enumerate_cuts(benchmark, kernel, groups):
+    dfg = build_dfg(kernel, groups)
+    cg = critical_graph(dfg, LatencyModel.realistic())
+    result = benchmark(enumerate_cuts, cg, lambda _: True)
+    assert len(result) == 3
+
+
+@pytest.mark.parametrize(
+    "allocator_cls",
+    [FullReuseAllocator, PartialReuseAllocator,
+     CriticalPathAwareAllocator, KnapsackAllocator],
+    ids=lambda c: c.name,
+)
+def test_perf_allocators(benchmark, kernel, groups, allocator_cls):
+    allocation = benchmark(
+        allocator_cls().allocate, kernel, 64, groups
+    )
+    assert allocation.total_registers <= 64
+
+
+def test_perf_cycle_counter(benchmark, kernel, groups):
+    allocation = CriticalPathAwareAllocator().allocate(kernel, 64, groups)
+    model = LatencyModel.tmem()
+    report = benchmark(count_cycles, kernel, groups, allocation, model)
+    assert report.total_cycles > 0
+
+
+def test_perf_fir_analysis(benchmark):
+    kernel = build_fir()
+    result = benchmark(build_groups, kernel)
+    assert len(result) == 3

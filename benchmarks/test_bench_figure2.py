@@ -1,0 +1,48 @@
+"""E1/E2/E3 — Figure 2: the worked example's CG, cuts and Tmem numbers.
+
+Regenerates Figure 2(a,b) (the critical graph and its cuts) and
+Figure 2(c) (register distributions plus memory cycles per outer
+iteration for FR-RA / PR-RA / CPA-RA), and checks them against the
+paper's stated values: cuts {{a,b},{d},{e}}, Tmem 1800 / 1560 / 1184.
+"""
+
+from repro.bench import PAPER_TMEM, figure2_report, render_table
+
+
+def test_figure2(benchmark, once, capsys):
+    report = once(benchmark, figure2_report)
+
+    # Figure 2(b): the CG excludes c[j]; its cuts are {a,b}, {d}, {e}.
+    assert set(report.structural_cuts) == {
+        "{d[i][k]}", "{e[i][j][k]}", "{a[k], b[k][j]}",
+    }
+    assert not any("c[j]" in node for node in report.cg_nodes)
+
+    # Figure 2(c): FR/PR match exactly; CPA within 5% (we model 1200).
+    by_algo = {row.algorithm: row for row in report.rows}
+    assert by_algo["FR-RA"].tmem_per_outer == PAPER_TMEM["FR-RA"]
+    assert by_algo["PR-RA"].tmem_per_outer == PAPER_TMEM["PR-RA"]
+    assert abs(by_algo["CPA-RA"].deviation_pct) < 5.0
+
+    # The paper's register distributions, verbatim.
+    assert by_algo["FR-RA"].distribution == (
+        "a[k]=30 b[k][j]=1 d[i][k]=1 c[j]=20 e[i][j][k]=1"
+    )
+    assert by_algo["PR-RA"].distribution == (
+        "a[k]=30 b[k][j]=1 d[i][k]=12 c[j]=20 e[i][j][k]=1"
+    )
+    assert by_algo["CPA-RA"].distribution == (
+        "a[k]=16 b[k][j]=16 d[i][k]=30 c[j]=1 e[i][j][k]=1"
+    )
+
+    with capsys.disabled():
+        print("\n" + render_table(
+            ["Algorithm", "Distribution", "Regs", "Tmem/i", "Paper", "Dev%"],
+            [
+                [r.algorithm, r.distribution, r.total_registers,
+                 r.tmem_per_outer, r.paper_tmem, f"{r.deviation_pct:+.1f}"]
+                for r in report.rows
+            ],
+            title="Figure 2(c) (reproduced): memory cycles per outer iteration",
+        ))
+        print("CG cuts (Figure 2(b)):", ", ".join(report.structural_cuts))

@@ -1,0 +1,51 @@
+"""A1 — register-budget sweep: cycles vs Nr per allocator.
+
+Shows where the allocators separate and where they converge: with tiny
+budgets everyone degenerates to the baseline, with huge budgets everyone
+covers everything; CPA-RA dominates in between.
+"""
+
+from repro.bench import budget_sweep, render_table
+from repro.kernels import build_fir, build_mat
+
+BUDGETS = [4, 8, 16, 32, 64, 128]
+
+
+def test_budget_sweep_fir(benchmark, once, capsys):
+    kernel = build_fir(n=128, taps=16)
+    points = once(benchmark, lambda: budget_sweep(kernel, BUDGETS))
+
+    by = {(p.budget, p.algorithm): p for p in points}
+    for algorithm in ("FR-RA", "PR-RA", "CPA-RA"):
+        series = [by[(b, algorithm)].cycles for b in BUDGETS]
+        assert series == sorted(series, reverse=True), algorithm
+    # CPA-RA never loses to FR-RA at any budget.
+    for budget in BUDGETS:
+        assert by[(budget, "CPA-RA")].cycles <= by[(budget, "FR-RA")].cycles
+
+    with capsys.disabled():
+        print("\n" + render_table(
+            ["Budget"] + ["FR-RA", "PR-RA", "CPA-RA"],
+            [
+                [b] + [by[(b, a)].cycles for a in ("FR-RA", "PR-RA", "CPA-RA")]
+                for b in BUDGETS
+            ],
+            title="A1: FIR cycles vs register budget",
+        ))
+
+
+def test_budget_sweep_mat(benchmark, once, capsys):
+    kernel = build_mat(n=8)
+    points = once(benchmark, lambda: budget_sweep(kernel, BUDGETS))
+    by = {(p.budget, p.algorithm): p for p in points}
+    for budget in BUDGETS:
+        assert by[(budget, "CPA-RA")].cycles <= by[(budget, "FR-RA")].cycles
+    with capsys.disabled():
+        print("\n" + render_table(
+            ["Budget", "FR-RA", "PR-RA", "CPA-RA"],
+            [
+                [b] + [by[(b, a)].cycles for a in ("FR-RA", "PR-RA", "CPA-RA")]
+                for b in BUDGETS
+            ],
+            title="A1: MAT cycles vs register budget",
+        ))

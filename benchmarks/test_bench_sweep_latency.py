@@ -1,0 +1,55 @@
+"""A2 — RAM-latency sweep: the allocator gap vs memory latency L.
+
+The paper's latency abstraction (register access vs RAM access costing
+``L``) implies CPA-RA's advantage grows with ``L``: every miss it removes
+from the critical path is worth more.  This sweep verifies that
+monotonicity on the running example and FIR.
+"""
+
+from repro.bench import latency_sweep, render_table
+from repro.bench.example import build_example_kernel
+from repro.kernels import build_fir
+
+LATENCIES = [1, 2, 4, 8]
+
+
+def test_latency_sweep_example(benchmark, once, capsys):
+    kernel = build_example_kernel()
+    table = once(benchmark, lambda: latency_sweep(kernel, LATENCIES))
+
+    gaps = [
+        table[latency]["FR-RA"] - table[latency]["CPA-RA"]
+        for latency in LATENCIES
+    ]
+    assert all(g >= 0 for g in gaps)
+    assert gaps == sorted(gaps)  # advantage grows with L
+
+    with capsys.disabled():
+        print("\n" + render_table(
+            ["L", "FR-RA", "PR-RA", "CPA-RA", "gap(FR-CPA)"],
+            [
+                [latency, table[latency]["FR-RA"], table[latency]["PR-RA"],
+                 table[latency]["CPA-RA"],
+                 table[latency]["FR-RA"] - table[latency]["CPA-RA"]]
+                for latency in LATENCIES
+            ],
+            title="A2: cycles vs RAM latency (worked example)",
+        ))
+
+
+def test_latency_sweep_fir(benchmark, once, capsys):
+    kernel = build_fir(n=128, taps=16)
+    table = once(benchmark, lambda: latency_sweep(kernel, LATENCIES, budget=24))
+    gaps = [
+        table[latency]["FR-RA"] - table[latency]["CPA-RA"]
+        for latency in LATENCIES
+    ]
+    assert gaps == sorted(gaps)
+    with capsys.disabled():
+        print("\n" + render_table(
+            ["L", "FR-RA", "CPA-RA", "gap"],
+            [[latency, table[latency]["FR-RA"], table[latency]["CPA-RA"],
+              table[latency]["FR-RA"] - table[latency]["CPA-RA"]]
+             for latency in LATENCIES],
+            title="A2: cycles vs RAM latency (FIR, 24 registers)",
+        ))

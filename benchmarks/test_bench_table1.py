@@ -1,0 +1,55 @@
+"""E4/E5 — Table 1: the full six-kernel evaluation plus aggregates.
+
+Regenerates every row of the paper's Table 1 (register distributions,
+cycles, clock, wall-clock, slices, RAMs for v1/v2/v3 of each kernel) and
+asserts the qualitative claims of section 5:
+
+* v2 and v3 never increase the cycle count; v3's average reduction is
+  substantially larger than v2's;
+* on Dec-FIR and PAT, v2 burns registers without reducing cycles and
+  regresses in wall-clock (mixed-storage operands);
+* v3 recovers those regressions;
+* on MAT and BIC, v3 does not beat v2 (the paper's two exceptions);
+* v3's average clock-rate loss stays in the single digits while its
+  average wall-clock gain is double digits.
+"""
+
+from repro.bench import generate_table1, render_table1
+
+
+def test_table1(benchmark, once, capsys):
+    table = once(benchmark, generate_table1)
+    rows = {(r.kernel, r.version): r for r in table.rows}
+
+    kernels = ("fir", "decfir", "mat", "imi", "pat", "bic")
+    for kernel in kernels:
+        v1, v2, v3 = (rows[(kernel, v)] for v in ("v1", "v2", "v3"))
+        # Cycles never regress with more registers.
+        assert v2.cycles <= v1.cycles
+        assert v3.cycles <= v1.cycles
+        # v3 is at least as good as v2 in cycles everywhere.
+        assert v3.cycles <= v2.cycles
+
+    # Dec-FIR and PAT: v2 spends registers with no cycle gain and loses
+    # wall-clock; v3 reduces cycles.
+    for kernel in ("decfir", "pat"):
+        v1, v2, v3 = (rows[(kernel, v)] for v in ("v1", "v2", "v3"))
+        assert v2.cycles == v1.cycles
+        assert v2.total_registers > v1.total_registers
+        assert v2.time_us > v1.time_us
+        assert v3.cycles < v1.cycles
+
+    # MAT and BIC: v3 does not improve wall-clock over v2.
+    for kernel in ("mat", "bic"):
+        v2, v3 = rows[(kernel, "v2")], rows[(kernel, "v3")]
+        assert v3.time_us >= v2.time_us * 0.999
+
+    # Aggregates: shape of the paper's section 5 claims.
+    assert table.avg_cycle_reduction["v3"] > table.avg_cycle_reduction["v2"]
+    assert table.avg_cycle_reduction["v3"] > 10.0
+    assert table.avg_wall_clock_gain["v3"] > 8.0
+    assert 0.0 < table.avg_clock_loss["v3"] < 15.0
+    assert table.v3_over_v2_cycles_pct > 0.0
+
+    with capsys.disabled():
+        print("\n" + render_table1(table))

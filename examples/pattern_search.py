@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""PAT end to end: find a pattern in text on simulated FPGA designs.
+
+Builds the paper's pattern-matching kernel, plants a pattern in a text,
+verifies the IR computes the right occurrence positions, and then shows
+the paper's PAT story: PR-RA spends the whole register budget on the
+pattern array without reducing cycles (the text window still misses every
+iteration, and the comparator's inputs straddle register and RAM),
+while CPA-RA splits the budget across the {s, p} cut and wins.
+
+Run: ``python examples/pattern_search.py``
+"""
+
+import numpy as np
+
+from repro import evaluate_kernel
+from repro.analysis import build_groups
+from repro.kernels import build_pat
+from repro.sim import run_kernel, run_scalar_replaced
+
+PATTERN = np.frombuffer(b"finegrainconfigurablefabricsneedexplicitregisterallocationpol!", dtype=np.uint8).astype(np.int64)
+kernel = build_pat(text_len=1024, pattern_len=len(PATTERN))
+print(f"kernel: {kernel.description}")
+
+rng = np.random.default_rng(42)
+text = rng.integers(32, 127, size=1024, dtype=np.int64)
+plant_positions = (100, 500, 871)
+for position in plant_positions:
+    text[position : position + len(PATTERN)] = PATTERN
+
+golden = run_kernel(kernel, {"s": text, "p": PATTERN})
+found = np.flatnonzero(golden["match"] == len(PATTERN))
+print(f"planted at {plant_positions}, found at {tuple(found.tolist())}")
+assert tuple(found.tolist()) == plant_positions
+
+# -- The three designs ---------------------------------------------------------
+groups = build_groups(kernel)
+result = evaluate_kernel(kernel, budget=64)
+baseline = result.design("FR-RA")
+print("\ndesigns under the 64-register budget:")
+for algorithm in ("FR-RA", "PR-RA", "CPA-RA"):
+    design = result.design(algorithm)
+    run = run_scalar_replaced(kernel, groups, design.allocation,
+                              {"s": text, "p": PATTERN})
+    assert np.array_equal(run.memory["match"], golden["match"])
+    print(
+        f"  {algorithm:7s} [{design.allocation.distribution()}]\n"
+        f"          {design.total_cycles} cycles @ {design.clock_ns:.1f} ns "
+        f"= {design.wall_clock_us:.1f} us "
+        f"(x{design.speedup_over(baseline):.2f} vs FR-RA)"
+    )
+
+v1, v2, v3 = (result.design(a) for a in ("FR-RA", "PR-RA", "CPA-RA"))
+assert v2.total_cycles == v1.total_cycles, "paper: v2 gains no cycles on PAT"
+assert v3.total_cycles < v1.total_cycles, "paper: v3 does"
+print(
+    "\nAs in the paper's Table 1: PR-RA burns 61 extra registers on the "
+    "pattern without removing a single cycle (the text still misses every "
+    "iteration), and its clock is worse; CPA-RA splits the cut {s, p} and "
+    "reduces both cycles and wall-clock."
+)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: define a kernel, run all three allocators, compare designs.
+
+This walks the full public API on a small moving-average filter:
+
+1. describe the loop nest with :class:`KernelBuilder`;
+2. inspect the data-reuse analysis (register requirements, benefit/cost);
+3. run FR-RA, PR-RA and CPA-RA under a register budget;
+4. build the simulated hardware design for each and compare cycles,
+   clock and wall-clock time.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import INT16, INT32, KernelBuilder, evaluate_kernel, pretty
+from repro.analysis import build_groups, rank_candidates
+
+# -- 1. A kernel: 16-tap moving average over 256 samples -------------------
+builder = KernelBuilder("moving_average", "y[i] = sum_j c[j] * x[i+j]")
+i = builder.loop("i", 256)
+j = builder.loop("j", 16)
+x = builder.array("x", (271,), INT16)
+c = builder.array("c", (16,), INT16)
+y = builder.array("y", (256,), INT32, role="output")
+builder.assign(y[i], y[i] + c[j] * x[i + j])
+kernel = builder.build()
+
+print(pretty(kernel))
+print()
+
+# -- 2. What the reuse analysis sees ---------------------------------------
+print("Reference groups (the allocation units):")
+for group in build_groups(kernel):
+    profile = group.profile
+    print(
+        f"  {group.name:12s} beta={group.full_registers:3d}  "
+        f"baseline={profile.baseline_accesses:6d} accesses  "
+        f"full={profile.full_accesses:5d}  saves={profile.full_saved}"
+    )
+print("\nGreedy order (benefit/cost):")
+for metric in rank_candidates(build_groups(kernel)):
+    print(f"  {metric}")
+
+# -- 3 & 4. Allocate and build designs under a 24-register budget ----------
+result = evaluate_kernel(kernel, budget=24)
+baseline = result.design("FR-RA")
+print(f"\nDesigns under a 24-register budget on {baseline.device_name}:")
+for algorithm in ("FR-RA", "PR-RA", "CPA-RA"):
+    design = result.design(algorithm)
+    print(
+        f"  {algorithm:7s} [{design.allocation.distribution()}] "
+        f"-> {design.total_cycles} cycles @ {design.clock_ns:.1f} ns "
+        f"= {design.wall_clock_us:.1f} us "
+        f"(x{design.speedup_over(baseline):.2f} vs FR-RA), "
+        f"{design.slices} slices, {design.ram_blocks} RAM blocks"
+    )
+
+print("\nCPA-RA's decision trace:")
+for line in result.design("CPA-RA").allocation.trace:
+    print(f"  {line}")

@@ -1,0 +1,103 @@
+"""repro: register allocation in the presence of scalar replacement.
+
+A from-scratch reproduction of Baradaran & Diniz, *"A Register Allocation
+Algorithm in the Presence of Scalar Replacement for Fine-Grain
+Configurable Architectures"* (DATE 2005): the FR-RA / PR-RA / CPA-RA
+allocators, the data-reuse analysis and critical-graph machinery they
+need, and a simulated FPGA backend (cycle-exact memory model plus
+area/clock estimators) that regenerates the paper's Table 1 and Figure 2.
+
+Quickstart::
+
+    from repro import KernelBuilder, INT16, evaluate_kernel
+
+    b = KernelBuilder("demo")
+    i = b.loop("i", 64); j = b.loop("j", 16)
+    x = b.array("x", (79,), INT16)
+    c = b.array("c", (16,), INT16)
+    y = b.array("y", (64,), INT16, role="output")
+    b.assign(y[i], y[i] + c[j] * x[i + j])
+    result = evaluate_kernel(b.build(), budget=24)
+    print(result.design("CPA-RA").allocation)
+
+Subpackages: :mod:`repro.ir` (affine loop-nest IR), :mod:`repro.analysis`
+(data-reuse analysis), :mod:`repro.dfg` (data-flow/critical graphs),
+:mod:`repro.core` (the allocators), :mod:`repro.scalar` (coverage),
+:mod:`repro.sim` (interpreters and cycle counting), :mod:`repro.hw` and
+:mod:`repro.synth` (device models and estimators), :mod:`repro.kernels`
+(the six benchmarks), :mod:`repro.bench` (Table 1 / Figure 2 harnesses).
+"""
+
+from repro.analysis import build_groups, rank_candidates
+from repro.bench import figure2_report, generate_table1, render_table1
+from repro.core import (
+    Allocation,
+    CriticalPathAwareAllocator,
+    FullReuseAllocator,
+    KnapsackAllocator,
+    NaiveAllocator,
+    PartialReuseAllocator,
+    evaluate_kernel,
+)
+from repro.dfg import LatencyModel, build_dfg, critical_graph, enumerate_cuts
+from repro.errors import ReproError
+from repro.hw import XCV1000, Device
+from repro.ir import (
+    BIT,
+    INT8,
+    INT16,
+    INT32,
+    UINT8,
+    UINT16,
+    UINT32,
+    Kernel,
+    KernelBuilder,
+    pretty,
+)
+from repro.kernels import PAPER_REGISTER_BUDGET, get_kernel, paper_kernels
+from repro.sim import count_cycles, random_inputs, run_kernel, run_scalar_replaced
+from repro.synth import HardwareDesign, build_design
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "BIT",
+    "CriticalPathAwareAllocator",
+    "Device",
+    "FullReuseAllocator",
+    "HardwareDesign",
+    "INT8",
+    "INT16",
+    "INT32",
+    "Kernel",
+    "KernelBuilder",
+    "KnapsackAllocator",
+    "LatencyModel",
+    "NaiveAllocator",
+    "PAPER_REGISTER_BUDGET",
+    "PartialReuseAllocator",
+    "ReproError",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "XCV1000",
+    "build_design",
+    "build_dfg",
+    "build_groups",
+    "count_cycles",
+    "critical_graph",
+    "enumerate_cuts",
+    "evaluate_kernel",
+    "figure2_report",
+    "generate_table1",
+    "get_kernel",
+    "paper_kernels",
+    "pretty",
+    "rank_candidates",
+    "random_inputs",
+    "render_table1",
+    "run_kernel",
+    "run_scalar_replaced",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Data-reuse analysis for scalar replacement.
+
+Main entry points::
+
+    from repro.analysis import build_groups, rank_candidates
+
+    groups = build_groups(kernel)          # allocation units with profiles
+    ranked = rank_candidates(groups)       # FR-RA's B/C ordering
+"""
+
+from repro.analysis.dependence import (
+    DistanceVector,
+    reuse_kind,
+    self_reuse_distance,
+)
+from repro.analysis.footprint import (
+    GRID_ENUMERATION_LIMIT,
+    distinct_count,
+    footprint_addresses,
+    footprints_overlap,
+    reference_footprint_table,
+)
+from repro.analysis.groups import RefGroup, build_groups, forwarded_read_sites
+from repro.analysis.metrics import CandidateMetric, rank_candidates
+from repro.analysis.profile import AccessProfile, ProfilePoint, pareto_points
+from repro.analysis.reuse import SiteReuse, analyze_kernel_sites, analyze_site
+
+__all__ = [
+    "AccessProfile",
+    "CandidateMetric",
+    "DistanceVector",
+    "GRID_ENUMERATION_LIMIT",
+    "ProfilePoint",
+    "RefGroup",
+    "SiteReuse",
+    "analyze_kernel_sites",
+    "analyze_site",
+    "build_groups",
+    "distinct_count",
+    "footprint_addresses",
+    "footprints_overlap",
+    "forwarded_read_sites",
+    "pareto_points",
+    "rank_candidates",
+    "reference_footprint_table",
+    "reuse_kind",
+    "self_reuse_distance",
+]

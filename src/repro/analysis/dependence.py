@@ -1,0 +1,111 @@
+"""Dependence distances for affine references.
+
+The reuse analysis proper works on footprints (see
+:mod:`repro.analysis.footprint`); this module provides the classical
+dependence-distance view the paper's background section describes — useful
+for diagnostics, reports and tests that want to see *why* a reference
+carries reuse at a level.
+
+For a self-reuse distance we look for the lexicographically smallest
+positive integer vector ``d`` with ``index(I + d) == index(I)`` for all
+in-range ``I`` — for affine subscripts that reduces to ``sum(c_v * d_v) == 0``
+per dimension, independent of ``I``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.ir.expr import ArrayRef
+from repro.ir.loop import LoopNest
+
+__all__ = ["DistanceVector", "self_reuse_distance", "reuse_kind"]
+
+# Candidate enumeration guard: per-variable range is clamped to this many
+# steps when searching for the minimal distance vector.
+_SEARCH_SPAN = 64
+
+
+@dataclass(frozen=True)
+class DistanceVector:
+    """A dependence distance, one component per loop level (outermost first)."""
+
+    components: tuple[int, ...]
+
+    @property
+    def carrying_level(self) -> int:
+        """1-based level of the first nonzero component."""
+        for level, value in enumerate(self.components, start=1):
+            if value != 0:
+                return level
+        raise AnalysisError("zero distance vector has no carrying level")
+
+    def is_lex_positive(self) -> bool:
+        for value in self.components:
+            if value > 0:
+                return True
+            if value < 0:
+                return False
+        return False
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(c) for c in self.components) + ")"
+
+
+def self_reuse_distance(nest: LoopNest, ref: ArrayRef) -> DistanceVector | None:
+    """Lexicographically minimal positive ``d`` with ``addr(I+d) == addr(I)``.
+
+    Returns ``None`` when the reference has no self-temporal reuse (e.g. it
+    depends injectively on the iteration vector).  Components are bounded by
+    the trip counts; the search enumerates only variables the reference
+    actually uses, so it is cheap for realistic kernels.
+    """
+    used_vars = ref.variables()
+    free_levels = [
+        (level, loop)
+        for level, loop in enumerate(nest.loops, start=1)
+        if loop.var not in used_vars
+    ]
+    # Invariance fast path: reuse carried by the outermost loop the reference
+    # ignores, with all other components zero.
+    if free_levels:
+        level, loop = free_levels[0]
+        components = [0] * nest.depth
+        components[level - 1] = loop.step
+        return DistanceVector(tuple(components))
+
+    # General case: solve sum(c_v * d_v) == 0 per dimension over a bounded
+    # box, keeping the lexicographically smallest positive solution.
+    spans: list[range] = []
+    var_order = [loop.var for loop in nest.loops]
+    for loop in nest.loops:
+        reach = min(loop.trip_count - 1, _SEARCH_SPAN)
+        spans.append(range(-reach * loop.step, reach * loop.step + 1, loop.step))
+    best: DistanceVector | None = None
+    for candidate in itertools.product(*spans):
+        vector = DistanceVector(tuple(candidate))
+        if not vector.is_lex_positive():
+            continue
+        point = dict(zip(var_order, candidate))
+        if all(idx.evaluate(point) == idx.offset for idx in ref.indices):
+            if best is None or candidate < best.components:
+                best = vector
+    return best
+
+
+def reuse_kind(nest: LoopNest, ref: ArrayRef) -> str:
+    """Classify the reference's self reuse for reports.
+
+    Returns one of ``"none"``, ``"invariant"`` (some loop variable unused —
+    identical footprints across that loop) or ``"window"`` (all variables
+    used but a nonzero distance vector exists, e.g. ``x[i+j]``).
+    """
+    used = ref.variables()
+    if any(loop.var not in used for loop in nest.loops):
+        return "invariant"
+    distance = self_reuse_distance(nest, ref)
+    if distance is None:
+        return "none"
+    return "window"

@@ -1,0 +1,124 @@
+"""Exact footprint computation for affine references over rectangular nests.
+
+The register-requirement and saved-access formulas in
+:mod:`repro.analysis.reuse` are all phrased in terms of *distinct element
+counts* of a reference over sub-boxes of the iteration space.  Because all
+bounds are compile-time constants (the paper's setting), we compute these
+counts exactly by vectorized enumeration rather than symbolically — no
+approximation, and it works for any affine subscript (strided, multi-
+variable, sliding-window) without case analysis.
+
+All functions take a *from_level* in ``1..depth+1`` using the paper's
+1-based level numbering (1 = outermost).  Loops at levels ``>= from_level``
+range over their full extent; loops at levels ``< from_level`` are pinned at
+their lower bound.  Affine images translate when outer values change, so
+the pinned choice does not affect cardinalities.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.ir.expr import ArrayRef
+from repro.ir.kernel import Kernel
+from repro.ir.loop import LoopNest
+
+__all__ = [
+    "footprint_addresses",
+    "distinct_count",
+    "footprints_overlap",
+    "GRID_ENUMERATION_LIMIT",
+]
+
+# Guard against accidentally enumerating astronomically large nests; all the
+# paper's kernels are orders of magnitude below this.
+GRID_ENUMERATION_LIMIT = 8_000_000
+
+
+def _inner_grids(
+    nest: LoopNest, from_level: int, pinned: dict[str, int] | None = None
+) -> dict[str, np.ndarray]:
+    """Per-variable broadcastable grids: full range for levels >= from_level,
+    pinned scalars (lower bound unless overridden) for levels < from_level."""
+    if not 1 <= from_level <= nest.depth + 1:
+        raise AnalysisError(
+            f"from_level {from_level} out of range 1..{nest.depth + 1}"
+        )
+    pinned = pinned or {}
+    size = 1
+    for loop in nest.loops[from_level - 1 :]:
+        size *= loop.trip_count
+    if size > GRID_ENUMERATION_LIMIT:
+        raise AnalysisError(
+            f"footprint enumeration of {size} points exceeds limit "
+            f"{GRID_ENUMERATION_LIMIT}; reduce kernel bounds for analysis"
+        )
+    grids: dict[str, np.ndarray] = {}
+    free = nest.loops[from_level - 1 :]
+    for axis, loop in enumerate(free):
+        shape = [1] * len(free)
+        shape[axis] = loop.trip_count
+        grids[loop.var] = loop.values().reshape(shape)
+    for loop in nest.loops[: from_level - 1]:
+        value = pinned.get(loop.var, loop.lower)
+        grids[loop.var] = np.array(value, dtype=np.int64)
+    return grids
+
+
+def footprint_addresses(
+    nest: LoopNest,
+    ref: ArrayRef,
+    from_level: int,
+    pinned: dict[str, int] | None = None,
+) -> np.ndarray:
+    """Sorted unique flat addresses ``ref`` touches over levels >= from_level.
+
+    ``pinned`` optionally overrides the value of outer (pinned) loop
+    variables — used by the overlap test to compare consecutive iterations.
+    """
+    grids = _inner_grids(nest, from_level, pinned)
+    flat = ref.flat_address_grid(grids)
+    return np.unique(flat)
+
+
+def distinct_count(nest: LoopNest, ref: ArrayRef, from_level: int) -> int:
+    """``D(from_level)``: number of distinct elements accessed when loops
+    ``from_level..depth`` sweep fully (outer loops pinned).
+
+    ``from_level = depth + 1`` gives 1 (a single iteration touches one
+    element of the reference).
+    """
+    return int(footprint_addresses(nest, ref, from_level).size)
+
+
+def footprints_overlap(nest: LoopNest, ref: ArrayRef, level: int) -> bool:
+    """Whether consecutive iterations of the loop at ``level`` touch common
+    elements of ``ref`` (with inner loops sweeping fully).
+
+    This is the reuse-carrying test: invariance w.r.t. the loop variable is
+    the common fast path (identical footprints); sliding windows such as
+    ``x[i+j]`` overlap partially and are detected by set intersection.
+    """
+    if not 1 <= level <= nest.depth:
+        raise AnalysisError(f"level {level} out of range 1..{nest.depth}")
+    loop = nest.loops[level - 1]
+    if loop.trip_count < 2:
+        return False  # a single iteration carries no cross-iteration reuse
+    if not ref.depends_on(loop.var):
+        return True
+    first = footprint_addresses(nest, ref, level + 1, pinned={loop.var: loop.lower})
+    second = footprint_addresses(
+        nest, ref, level + 1, pinned={loop.var: loop.lower + loop.step}
+    )
+    return bool(np.intersect1d(first, second, assume_unique=True).size)
+
+
+def reference_footprint_table(kernel: Kernel, ref: ArrayRef) -> dict[int, int]:
+    """``{from_level: distinct_count}`` for every level, for reports/tests."""
+    return {
+        level: distinct_count(kernel.nest, ref, level)
+        for level in range(1, kernel.depth + 2)
+    }

@@ -1,0 +1,49 @@
+"""Benefit/cost metrics and candidate ordering for the greedy allocators.
+
+The paper's FR-RA/PR-RA sort references by ``B/C(ref) = saved(ref) /
+beta(ref)`` — eliminated memory accesses per register spent — and allocate
+greedily in descending order.  Exact rational arithmetic avoids float ties;
+ties break deterministically by more saved accesses first, then group name,
+so allocation results are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.analysis.groups import RefGroup
+
+__all__ = ["CandidateMetric", "rank_candidates"]
+
+
+@dataclass(frozen=True)
+class CandidateMetric:
+    """A group with its knapsack value/size/ratio, ready for sorting."""
+
+    group: RefGroup
+    saved: int
+    registers: int
+    ratio: Fraction
+
+    @staticmethod
+    def of(group: RefGroup) -> "CandidateMetric":
+        return CandidateMetric(
+            group=group,
+            saved=group.full_saved,
+            registers=group.full_registers,
+            ratio=group.benefit_cost(),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.group.name}: saves {self.saved} accesses with "
+            f"{self.registers} registers (B/C = {float(self.ratio):.2f})"
+        )
+
+
+def rank_candidates(groups: tuple[RefGroup, ...]) -> list[CandidateMetric]:
+    """Groups with reuse, best benefit/cost first (the FR-RA sort order)."""
+    metrics = [CandidateMetric.of(g) for g in groups if g.has_reuse]
+    metrics.sort(key=lambda m: (-m.ratio, -m.saved, m.group.name))
+    return metrics

@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``
+    Regenerate the paper's Table 1 (all six kernels, v1/v2/v3).
+``figure2``
+    Regenerate Figure 2 (the worked example's CG, cuts and Tmem).
+``kernel NAME``
+    Evaluate one paper kernel under a budget with chosen algorithms.
+``vhdl NAME``
+    Emit behavioral VHDL for one kernel/algorithm pair.
+``list``
+    List the available kernels and allocators.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import figure2_report, generate_table1, render_table, render_table1
+from repro.codegen import generate_vhdl
+from repro.core import evaluate_kernel
+from repro.core.pipeline import _ALLOCATORS, allocator_by_name
+from repro.kernels import KERNEL_FACTORIES, PAPER_REGISTER_BUDGET, get_kernel
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    table = generate_table1(budget=args.budget)
+    print(render_table1(table))
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    report = figure2_report(budget=args.budget)
+    print("Critical Graph nodes:", ", ".join(report.cg_nodes))
+    print("Cuts:", ", ".join(report.structural_cuts))
+    print(render_table(
+        ["Algorithm", "Distribution", "Regs", "Tmem/outer", "Paper", "Dev%"],
+        [
+            [r.algorithm, r.distribution, r.total_registers,
+             r.tmem_per_outer, r.paper_tmem, f"{r.deviation_pct:+.1f}"]
+            for r in report.rows
+        ],
+        title="Figure 2(c), reproduced",
+    ))
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    kernel = get_kernel(args.name)
+    algorithms = tuple(args.algorithms)
+    result = evaluate_kernel(kernel, budget=args.budget, algorithms=algorithms)
+    baseline = result.design(algorithms[0])
+    rows = []
+    for algorithm in algorithms:
+        design = result.design(algorithm)
+        rows.append([
+            algorithm,
+            design.allocation.total_registers,
+            design.total_cycles,
+            f"{design.clock_ns:.1f}",
+            f"{design.wall_clock_us:.1f}",
+            f"{design.speedup_over(baseline):.2f}",
+            design.slices,
+            design.ram_blocks,
+        ])
+    print(render_table(
+        ["Algorithm", "Regs", "Cycles", "Clock(ns)", "Time(us)",
+         "Speedup", "Slices", "RAMs"],
+        rows,
+        title=f"{kernel.name} under a {args.budget}-register budget",
+    ))
+    if args.trace:
+        for algorithm in algorithms:
+            print(f"\n{algorithm} decision trace:")
+            for line in result.design(algorithm).allocation.trace:
+                print(f"  {line}")
+    return 0
+
+
+def _cmd_vhdl(args: argparse.Namespace) -> int:
+    kernel = get_kernel(args.name)
+    allocator = allocator_by_name(args.algorithm)
+    allocation = allocator.allocate(kernel, args.budget)
+    sys.stdout.write(generate_vhdl(kernel, allocation))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("kernels:   ", ", ".join(sorted(KERNEL_FACTORIES)))
+    print("allocators:", ", ".join(sorted(_ALLOCATORS)))
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Baradaran & Diniz (DATE 2005).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table1", help="regenerate Table 1")
+    p_table.add_argument("--budget", type=int, default=PAPER_REGISTER_BUDGET)
+    p_table.set_defaults(func=_cmd_table1)
+
+    p_fig = sub.add_parser("figure2", help="regenerate Figure 2")
+    p_fig.add_argument("--budget", type=int, default=PAPER_REGISTER_BUDGET)
+    p_fig.set_defaults(func=_cmd_figure2)
+
+    p_kernel = sub.add_parser("kernel", help="evaluate one kernel")
+    p_kernel.add_argument("name", choices=sorted(KERNEL_FACTORIES))
+    p_kernel.add_argument("--budget", type=int, default=PAPER_REGISTER_BUDGET)
+    p_kernel.add_argument(
+        "--algorithms", nargs="+",
+        default=["FR-RA", "PR-RA", "CPA-RA"],
+        choices=sorted(_ALLOCATORS),
+    )
+    p_kernel.add_argument("--trace", action="store_true",
+                          help="print allocator decision traces")
+    p_kernel.set_defaults(func=_cmd_kernel)
+
+    p_vhdl = sub.add_parser("vhdl", help="emit behavioral VHDL")
+    p_vhdl.add_argument("name", choices=sorted(KERNEL_FACTORIES))
+    p_vhdl.add_argument("--algorithm", default="CPA-RA",
+                        choices=sorted(_ALLOCATORS))
+    p_vhdl.add_argument("--budget", type=int, default=PAPER_REGISTER_BUDGET)
+    p_vhdl.set_defaults(func=_cmd_vhdl)
+
+    p_list = sub.add_parser("list", help="list kernels and allocators")
+    p_list.set_defaults(func=_cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Code generation: behavioral VHDL emission for allocated designs."""
+
+from repro.codegen.vhdl import generate_vhdl
+
+__all__ = ["generate_vhdl"]

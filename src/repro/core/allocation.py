@@ -1,0 +1,97 @@
+"""Allocation results: how many registers each reference group received.
+
+An :class:`Allocation` is what every allocator returns and what the
+scalar-replacement transform, the cycle simulator and the synthesis
+estimator consume.  It also keeps a human-readable decision trace so the
+worked example in the paper (section 4) can be replayed step by step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.groups import RefGroup
+from repro.errors import AllocationError
+
+__all__ = ["Allocation"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Registers assigned to each reference group of one kernel.
+
+    Attributes
+    ----------
+    kernel_name:
+        Kernel the allocation belongs to.
+    algorithm:
+        Short algorithm tag: ``"FR-RA"``, ``"PR-RA"``, ``"CPA-RA"``, ...
+    budget:
+        The register budget ``Nr`` the allocator was given.
+    registers:
+        ``{group name: register count}``; every group appears with >= 1.
+    betas:
+        ``{group name: full-replacement requirement}`` for convenience.
+    trace:
+        Human-readable decision log, one line per allocator step.
+    """
+
+    kernel_name: str
+    algorithm: str
+    budget: int
+    registers: dict[str, int]
+    betas: dict[str, int]
+    trace: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name, count in self.registers.items():
+            if count < 1:
+                raise AllocationError(
+                    f"{self.algorithm}: group {name!r} got {count} registers; "
+                    f"every reference needs at least one"
+                )
+        if self.total_registers > self.budget:
+            raise AllocationError(
+                f"{self.algorithm}: allocated {self.total_registers} registers "
+                f"over budget {self.budget}"
+            )
+
+    @property
+    def total_registers(self) -> int:
+        return sum(self.registers.values())
+
+    @property
+    def leftover(self) -> int:
+        return self.budget - self.total_registers
+
+    def registers_for(self, group_name: str) -> int:
+        try:
+            return self.registers[group_name]
+        except KeyError:
+            raise AllocationError(
+                f"allocation for {self.kernel_name} has no group {group_name!r}"
+            )
+
+    def is_full(self, group: RefGroup) -> bool:
+        """Whether ``group`` received its full scalar-replacement demand."""
+        return self.registers_for(group.name) >= group.full_registers
+
+    def hits_map(self, groups: "tuple[RefGroup, ...]") -> dict[str, bool]:
+        """Group -> register-resident, as the critical-graph extractor wants.
+
+        A group counts as resident only when fully allocated *and* some
+        loop level carries reuse for it (a fully-allocated no-reuse
+        reference still pays a RAM access every iteration).
+        """
+        return {g.name: self.is_full(g) and g.carries_reuse for g in groups}
+
+    def distribution(self) -> str:
+        """Figure 2(c)-style register distribution string."""
+        parts = [f"{name}={count}" for name, count in self.registers.items()]
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.algorithm}[{self.kernel_name}]: {self.distribution()} "
+            f"(total {self.total_registers}/{self.budget})"
+        )

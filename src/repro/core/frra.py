@@ -1,0 +1,40 @@
+"""FR-RA: Full Reuse Register Allocation (paper Figure 3, variant 1).
+
+Sort references by descending benefit/cost ``B/C = saved / beta`` and give
+each its *full* requirement while the budget allows; references that do not
+fit keep only their mandatory register.  All-or-nothing per reference —
+the algorithm may strand registers (PR-RA exists to spend them).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import rank_candidates
+from repro.core.base import AllocationState, Allocator
+
+__all__ = ["FullReuseAllocator"]
+
+
+class FullReuseAllocator(Allocator):
+    """The paper's FR-RA greedy."""
+
+    name = "FR-RA"
+
+    def _run(self, state: AllocationState) -> None:
+        ranked = rank_candidates(state.groups)
+        state.trace.append(
+            "B/C order: "
+            + ", ".join(
+                f"{m.group.name} ({float(m.ratio):.1f})" for m in ranked
+            )
+        )
+        for metric in ranked:
+            need = state.need(metric.group)
+            if need == 0:
+                continue
+            if need <= state.remaining:
+                state.give(metric.group, need, "full reuse")
+            else:
+                state.trace.append(
+                    f"skip {metric.group.name}: needs {need}, "
+                    f"only {state.remaining} left"
+                )

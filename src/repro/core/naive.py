@@ -1,0 +1,22 @@
+"""Naive baseline: no scalar replacement beyond the mandatory buffers.
+
+Every reference keeps exactly one operand register; every access goes to
+its RAM block.  This is the "original code" datum the cycle-reduction
+percentages in Table 1 are implicitly measured against, and a useful
+anchor in sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AllocationState, Allocator
+
+__all__ = ["NaiveAllocator"]
+
+
+class NaiveAllocator(Allocator):
+    """All references stay in RAM."""
+
+    name = "NO-SR"
+
+    def _run(self, state: AllocationState) -> None:
+        state.trace.append("naive: no reuse registers assigned")

@@ -1,0 +1,32 @@
+"""PR-RA: Partial Reuse Register Allocation (paper Figure 3, variant 2).
+
+Runs FR-RA, then spends the stranded registers on the next reference in
+the benefit/cost order for *partial* reuse: the reference receives
+``1 < r < beta`` registers, covering part of its footprint.  The paper
+gives the leftovers to the first unsatisfied reference; if that reference
+saturates (reaches ``beta``) the remainder flows to the next one.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import rank_candidates
+from repro.core.base import AllocationState, Allocator
+from repro.core.frra import FullReuseAllocator
+
+__all__ = ["PartialReuseAllocator"]
+
+
+class PartialReuseAllocator(Allocator):
+    """The paper's PR-RA greedy."""
+
+    name = "PR-RA"
+
+    def _run(self, state: AllocationState) -> None:
+        FullReuseAllocator()._run(state)
+        if state.remaining == 0:
+            return
+        for metric in rank_candidates(state.groups):
+            if state.remaining == 0:
+                break
+            if not state.is_full(metric.group):
+                state.give(metric.group, state.remaining, "partial reuse")

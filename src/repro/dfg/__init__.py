@@ -1,0 +1,25 @@
+"""Loop-body data-flow graphs, critical graphs and cuts."""
+
+from repro.dfg.build import build_dfg
+from repro.dfg.critical import CriticalGraph, critical_graph, path_latency
+from repro.dfg.cuts import Cut, enumerate_cuts
+from repro.dfg.dot import to_dot
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.latency import LatencyModel
+from repro.dfg.nodes import DFGNode, OpNode, ReadNode, WriteNode
+
+__all__ = [
+    "CriticalGraph",
+    "Cut",
+    "DFGNode",
+    "DataFlowGraph",
+    "LatencyModel",
+    "OpNode",
+    "ReadNode",
+    "WriteNode",
+    "build_dfg",
+    "critical_graph",
+    "enumerate_cuts",
+    "path_latency",
+    "to_dot",
+]

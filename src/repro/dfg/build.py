@@ -1,0 +1,133 @@
+"""Build the loop-body data-flow graph from a kernel.
+
+Construction rules (matching the paper's Figure 2(a)):
+
+* every non-forwarded RHS load becomes a :class:`ReadNode`;
+* every operator application becomes an :class:`OpNode` with edges from
+  its operand nodes (constants and loop-index operands contribute no
+  node — they are wired constants);
+* the statement target becomes a :class:`WriteNode` fed by the RHS root;
+* a *forwarded* load (same-iteration read of a value an earlier statement
+  produced) connects its consumer to the producing statement's *write
+  node*: the written reference sits on the value path, exactly as the
+  example's ``d[i][k]`` node sits between ``op1`` and ``op2`` in
+  Figure 2(a).  When the reference is register-resident the write node
+  costs nothing and the value flows straight through; when it lives in a
+  RAM block, the consumer serializes behind the store — the stall the
+  paper describes and the reason ``{d}`` is a cut of the critical graph.
+
+The DFG depends only on the kernel (not the allocation); allocation-
+dependent memory latencies are applied by the latency model at scheduling
+and critical-path time.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.groups import RefGroup, build_groups, forwarded_read_sites
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.nodes import DFGNode, OpNode, ReadNode, WriteNode
+from repro.errors import AnalysisError
+from repro.ir.expr import BinOp, Const, Expr, IndexValue, Load, UnaryOp
+from repro.ir.kernel import Kernel
+from repro.ir.stmt import ReferenceSite
+
+__all__ = ["build_dfg"]
+
+
+def build_dfg(
+    kernel: Kernel, groups: "tuple[RefGroup, ...] | None" = None
+) -> DataFlowGraph:
+    """Construct the body DFG of ``kernel``.
+
+    ``groups`` may be passed to reuse an existing grouping; otherwise the
+    default (paper-mode) grouping is computed.
+    """
+    groups = groups if groups is not None else build_groups(kernel)
+    group_of_ref = {g.ref: g.name for g in groups}
+    forwarded = forwarded_read_sites(kernel)
+    sites = {s.site_id: s for s in kernel.reference_sites()}
+
+    dfg = DataFlowGraph()
+    value_of_stmt: dict[int, DFGNode | None] = {}
+    writer_of_ref: dict = {}
+    reader_of_ref: dict = {}
+    op_counter = 0
+
+    for stmt_index, stmt in enumerate(kernel.nest.body):
+        occurrence: dict = {}
+
+        def build(expr: Expr) -> DFGNode | None:
+            nonlocal op_counter
+            if isinstance(expr, Load):
+                key = (False, expr.ref)
+                occ = occurrence.get(key, 0)
+                occurrence[key] = occ + 1
+                site = ReferenceSite(expr.ref, stmt_index, occ, False)
+                if site.site_id not in sites:
+                    raise AnalysisError(
+                        f"site {site.site_id} not found in kernel enumeration"
+                    )
+                if site.site_id in forwarded:
+                    if expr.ref in writer_of_ref:
+                        return writer_of_ref[expr.ref]
+                    return reader_of_ref[expr.ref]
+                node = ReadNode(
+                    uid=site.site_id,
+                    site=site,
+                    group_name=group_of_ref[expr.ref],
+                )
+                dfg.add_node(node)
+                reader_of_ref[expr.ref] = node
+                return node
+            if isinstance(expr, (Const, IndexValue)):
+                return None
+            if isinstance(expr, BinOp):
+                left = build(expr.left)
+                right = build(expr.right)
+                node = dfg.add_node(
+                    OpNode(
+                        uid=f"s{stmt_index}/op{op_counter}:{expr.op.value}",
+                        op=expr.op,
+                        stmt_index=stmt_index,
+                        bits=expr.dtype.bits,
+                    )
+                )
+                op_counter += 1
+                for operand in (left, right):
+                    if operand is not None:
+                        dfg.add_edge(operand, node)
+                return node
+            if isinstance(expr, UnaryOp):
+                operand = build(expr.operand)
+                node = dfg.add_node(
+                    OpNode(
+                        uid=f"s{stmt_index}/op{op_counter}:{expr.op.value}",
+                        op=expr.op,
+                        stmt_index=stmt_index,
+                        bits=expr.dtype.bits,
+                    )
+                )
+                op_counter += 1
+                if operand is not None:
+                    dfg.add_edge(operand, node)
+                return node
+            raise AnalysisError(f"unsupported expression node {expr!r}")
+
+        root = build(stmt.expr)
+        key = (True, stmt.target)
+        occ = occurrence.get(key, 0)
+        occurrence[key] = occ + 1
+        target_site = ReferenceSite(stmt.target, stmt_index, occ, True)
+        write = dfg.add_node(
+            WriteNode(
+                uid=target_site.site_id,
+                site=target_site,
+                group_name=group_of_ref[stmt.target],
+            )
+        )
+        if root is not None:
+            dfg.add_edge(root, write)
+        value_of_stmt[stmt_index] = root
+        writer_of_ref[stmt.target] = write
+
+    return dfg

@@ -1,0 +1,79 @@
+"""Cuts of the Critical Graph.
+
+The paper defines a *Cut* as "a minimal subset of [the CG's] reference
+nodes, such that their removal would disconnect all the paths in the CG".
+Removal here means turning the reference's memory access into a register
+access — so only references that (a) still have exploitable reuse and
+(b) are not already fully allocated can participate.
+
+Operationally a cut is a minimal hitting set over the per-path sets of
+removable reference groups.  The CG of a loop body is tiny (the paper
+makes the same observation), so exact enumeration is practical; a
+defensive cap guards pathological inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.dfg.critical import CriticalGraph
+from repro.errors import AnalysisError
+
+__all__ = ["Cut", "enumerate_cuts"]
+
+_MAX_CUTS = 4096
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A minimal set of reference groups disconnecting every critical path."""
+
+    groups: frozenset[str]
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(sorted(self.groups)) + "}"
+
+
+def enumerate_cuts(
+    cg: CriticalGraph, removable: Callable[[str], bool]
+) -> list[Cut]:
+    """All minimal cuts of ``cg`` over groups satisfying ``removable``.
+
+    Returns an empty list when some critical path carries no removable
+    reference at all — then no register assignment can shorten every
+    critical path, and CPA-RA stops (the running example ends exactly this
+    way, with ``e``'s unavoidable store left on the path).
+
+    Results are sorted deterministically (by size, then lexicographic).
+    """
+    path_sets: list[frozenset[str]] = []
+    for group_names in cg.groups_on_paths():
+        candidates = frozenset(g for g in group_names if removable(g))
+        if not candidates:
+            return []
+        path_sets.append(candidates)
+    # Deduplicate identical path constraints; order by size for pruning.
+    unique_sets = sorted(set(path_sets), key=lambda s: (len(s), sorted(s)))
+
+    cuts: set[frozenset[str]] = set()
+
+    def cover(remaining: list[frozenset[str]], chosen: frozenset[str]) -> None:
+        if len(cuts) >= _MAX_CUTS:
+            return
+        uncovered = [s for s in remaining if not (s & chosen)]
+        if not uncovered:
+            cuts.add(chosen)
+            return
+        for group in sorted(uncovered[0]):
+            cover(uncovered[1:], chosen | {group})
+
+    cover(unique_sets, frozenset())
+
+    minimal = [
+        c
+        for c in cuts
+        if not any(other < c for other in cuts)
+    ]
+    minimal.sort(key=lambda c: (len(c), sorted(c)))
+    return [Cut(groups=c) for c in minimal]

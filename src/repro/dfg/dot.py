@@ -1,0 +1,38 @@
+"""Graphviz DOT export of data-flow graphs for documentation and debugging."""
+
+from __future__ import annotations
+
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.nodes import OpNode, ReadNode, WriteNode
+
+__all__ = ["to_dot"]
+
+
+def to_dot(
+    dfg: DataFlowGraph,
+    highlight: "set[str] | frozenset[str] | None" = None,
+    title: str = "dfg",
+) -> str:
+    """Render ``dfg`` as DOT text; ``highlight`` marks node uids (e.g. the
+    critical graph) with a doubled border."""
+    highlight = highlight or set()
+    lines = [f'digraph "{title}" {{', "  rankdir=TB;"]
+    for node in dfg.nodes:
+        if isinstance(node, ReadNode):
+            shape, label = "ellipse", f"read {node.site.ref}"
+        elif isinstance(node, WriteNode):
+            shape, label = "ellipse", f"write {node.site.ref}"
+        elif isinstance(node, OpNode):
+            shape, label = "box", node.op.value
+        else:  # pragma: no cover - no other node kinds exist
+            shape, label = "diamond", node.uid
+        peripheries = 2 if node.uid in highlight else 1
+        lines.append(
+            f'  "{node.uid}" [shape={shape} label="{label}" '
+            f"peripheries={peripheries}];"
+        )
+    for node in dfg.nodes:
+        for succ in dfg.successors(node):
+            lines.append(f'  "{node.uid}" -> "{succ.uid}";')
+    lines.append("}")
+    return "\n".join(lines)

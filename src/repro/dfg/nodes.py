@@ -1,0 +1,74 @@
+"""Data-flow graph node types.
+
+One DFG models one execution of the loop *body* (a single innermost
+iteration), exactly as the paper's Figure 2(a): leaves are array reads,
+internal nodes are operations, roots are array writes.  Reads satisfied by
+same-iteration forwarding do not appear — their consumers connect straight
+to the producing operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.expr import Op
+from repro.ir.stmt import ReferenceSite
+
+__all__ = ["DFGNode", "ReadNode", "WriteNode", "OpNode"]
+
+
+@dataclass(frozen=True)
+class DFGNode:
+    """Base node; ``uid`` is unique and stable within one DFG."""
+
+    uid: str
+
+    @property
+    def is_memory(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class ReadNode(DFGNode):
+    """An array load feeding the datapath.
+
+    ``group_name`` ties the node to its allocation unit
+    (:class:`~repro.analysis.groups.RefGroup`).
+    """
+
+    site: ReferenceSite
+    group_name: str
+
+    @property
+    def is_memory(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"read {self.site.ref}"
+
+
+@dataclass(frozen=True)
+class WriteNode(DFGNode):
+    """An array store at the root of a statement."""
+
+    site: ReferenceSite
+    group_name: str
+
+    @property
+    def is_memory(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"write {self.site.ref}"
+
+
+@dataclass(frozen=True)
+class OpNode(DFGNode):
+    """A datapath operation (one operator application)."""
+
+    op: Op
+    stmt_index: int
+    bits: int
+
+    def __str__(self) -> str:
+        return f"op {self.op.value}"

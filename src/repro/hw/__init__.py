@@ -1,0 +1,24 @@
+"""Hardware models: devices, RAM blocks, registers and operator costs."""
+
+from repro.hw.binding import StorageBinding, bind_arrays
+from repro.hw.device import DEVICES, VIRTEX2_XC2V1000, XCV300, XCV1000, Device
+from repro.hw.ops import OP_LIBRARY, OpSpec, default_op_latencies, op_spec
+from repro.hw.ram import RamSpec, blocks_needed
+from repro.hw.regfile import RegisterFile
+
+__all__ = [
+    "DEVICES",
+    "Device",
+    "OP_LIBRARY",
+    "OpSpec",
+    "RamSpec",
+    "RegisterFile",
+    "StorageBinding",
+    "VIRTEX2_XC2V1000",
+    "XCV300",
+    "XCV1000",
+    "bind_arrays",
+    "blocks_needed",
+    "default_op_latencies",
+    "op_spec",
+]

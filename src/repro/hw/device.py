@@ -1,0 +1,93 @@
+"""FPGA device catalog.
+
+The paper targets a Xilinx Virtex XCV1000 in a BG560 package: a 64x96 CLB
+array (12,288 slices) with 32 dual-portable BlockRAMs of 4 kbit each, and
+reports slice occupancy out of 12,288.  The catalog models exactly the
+parameters the estimators consume: resource totals and a handful of timing
+characteristics used by the clock-period model.  Values are representative
+of the 2000-era Virtex speed grade -4 datasheet; the reproduction only
+relies on their relative magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+
+__all__ = ["Device", "XCV1000", "XCV300", "VIRTEX2_XC2V1000", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """A fine-grain configurable device (FPGA) resource/timing description.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"xcv1000-bg560"``.
+    slices:
+        Total logic slices (two 4-LUTs + two flip-flops each).
+    bram_blocks:
+        Number of BlockRAM primitives.
+    bram_kbits:
+        Capacity of one BlockRAM in kilobits.
+    bram_ports:
+        Ports per BlockRAM (1 = single, 2 = dual).
+    lut_delay_ns:
+        Delay through one LUT level, nanoseconds.
+    net_delay_ns:
+        Average routed-net delay per logic level, nanoseconds.
+    bram_access_ns:
+        BlockRAM clock-to-out, nanoseconds.
+    min_clock_ns:
+        Floor on the achievable clock period (global clock tree and FF
+        overheads), nanoseconds.
+    """
+
+    name: str
+    slices: int
+    bram_blocks: int
+    bram_kbits: int = 4
+    bram_ports: int = 1
+    lut_delay_ns: float = 0.6
+    net_delay_ns: float = 1.0
+    bram_access_ns: float = 3.2
+    min_clock_ns: float = 24.0
+
+    def __post_init__(self) -> None:
+        if self.slices <= 0 or self.bram_blocks <= 0:
+            raise SynthesisError(f"device {self.name}: non-positive resources")
+        if self.bram_ports not in (1, 2):
+            raise SynthesisError(f"device {self.name}: 1 or 2 RAM ports only")
+
+    @property
+    def register_bits(self) -> int:
+        """Flip-flops available as discrete data registers (2 per slice)."""
+        return self.slices * 2
+
+    def occupancy(self, used_slices: int) -> float:
+        """Fraction of slices used, as Table 1's occupancy column."""
+        return used_slices / self.slices
+
+
+#: The paper's evaluation device: Virtex XCV1000 in a BG560 package.
+XCV1000 = Device(name="xcv1000-bg560", slices=12288, bram_blocks=32)
+
+#: A smaller Virtex part, useful for resource-pressure experiments.
+XCV300 = Device(name="xcv300", slices=3072, bram_blocks=16)
+
+#: A Virtex-II part (paper section 2 mentions the family), dual-ported RAMs.
+VIRTEX2_XC2V1000 = Device(
+    name="xc2v1000",
+    slices=5120,
+    bram_blocks=40,
+    bram_kbits=18,
+    bram_ports=2,
+    lut_delay_ns=0.4,
+    net_delay_ns=0.7,
+    bram_access_ns=2.1,
+    min_clock_ns=14.0,
+)
+
+DEVICES = {d.name: d for d in (XCV1000, XCV300, VIRTEX2_XC2V1000)}

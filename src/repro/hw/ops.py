@@ -1,0 +1,88 @@
+"""Operator library: latency, combinational delay and area per operation.
+
+High-level synthesis maps each IR operator to a datapath macro whose cost
+depends on the operand bit-width.  This table drives three consumers:
+
+* the DFG latency model (cycles per operation),
+* the clock-period estimator (worst combinational delay per cycle), and
+* the area estimator (slices per macro).
+
+The numbers are representative of Virtex-era macro libraries (ripple-carry
+adders at ~width/2 slices, pipelined array multipliers) — the reproduction
+depends on relative, not absolute, values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import SynthesisError
+from repro.ir.expr import Op
+
+__all__ = ["OpSpec", "OP_LIBRARY", "op_spec", "default_op_latencies"]
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Synthesis cost of one operator.
+
+    Attributes
+    ----------
+    latency:
+        Pipeline latency in cycles (>= 0; 0 means folded into the same
+        cycle as its consumer).
+    delay_ns_per_bit:
+        Combinational delay contribution per operand bit, ns.
+    delay_ns_base:
+        Fixed combinational delay, ns.
+    slices_per_bit:
+        Area slope, slices per operand bit.
+    slices_base:
+        Fixed area, slices.
+    """
+
+    latency: int
+    delay_ns_per_bit: float
+    delay_ns_base: float
+    slices_per_bit: float
+    slices_base: float
+
+    def delay_ns(self, bits: int) -> float:
+        return self.delay_ns_base + self.delay_ns_per_bit * bits
+
+    def slices(self, bits: int) -> int:
+        return int(round(self.slices_base + self.slices_per_bit * bits))
+
+
+# Carry chains make adders fast and cheap; multipliers on Virtex (no DSP
+# blocks) are LUT arrays: quadratic area approximated with a steeper slope,
+# two-cycle latency.  Comparisons/logic are single-LUT-level operations.
+OP_LIBRARY: Mapping[Op, OpSpec] = {
+    Op.ADD: OpSpec(latency=1, delay_ns_per_bit=0.08, delay_ns_base=1.2, slices_per_bit=0.5, slices_base=1),
+    Op.SUB: OpSpec(latency=1, delay_ns_per_bit=0.08, delay_ns_base=1.2, slices_per_bit=0.5, slices_base=1),
+    Op.MUL: OpSpec(latency=2, delay_ns_per_bit=0.15, delay_ns_base=2.4, slices_per_bit=4.5, slices_base=4),
+    Op.EQ: OpSpec(latency=1, delay_ns_per_bit=0.05, delay_ns_base=0.8, slices_per_bit=0.25, slices_base=1),
+    Op.NE: OpSpec(latency=1, delay_ns_per_bit=0.05, delay_ns_base=0.8, slices_per_bit=0.25, slices_base=1),
+    Op.LT: OpSpec(latency=1, delay_ns_per_bit=0.06, delay_ns_base=0.9, slices_per_bit=0.3, slices_base=1),
+    Op.GT: OpSpec(latency=1, delay_ns_per_bit=0.06, delay_ns_base=0.9, slices_per_bit=0.3, slices_base=1),
+    Op.AND: OpSpec(latency=1, delay_ns_per_bit=0.02, delay_ns_base=0.5, slices_per_bit=0.25, slices_base=0),
+    Op.OR: OpSpec(latency=1, delay_ns_per_bit=0.02, delay_ns_base=0.5, slices_per_bit=0.25, slices_base=0),
+    Op.XOR: OpSpec(latency=1, delay_ns_per_bit=0.02, delay_ns_base=0.5, slices_per_bit=0.25, slices_base=0),
+    Op.SHL: OpSpec(latency=1, delay_ns_per_bit=0.03, delay_ns_base=0.6, slices_per_bit=0.4, slices_base=0),
+    Op.SHR: OpSpec(latency=1, delay_ns_per_bit=0.03, delay_ns_base=0.6, slices_per_bit=0.4, slices_base=0),
+    Op.NOT: OpSpec(latency=0, delay_ns_per_bit=0.01, delay_ns_base=0.2, slices_per_bit=0.13, slices_base=0),
+    Op.NEG: OpSpec(latency=1, delay_ns_per_bit=0.08, delay_ns_base=1.0, slices_per_bit=0.5, slices_base=0),
+}
+
+
+def op_spec(op: Op) -> OpSpec:
+    try:
+        return OP_LIBRARY[op]
+    except KeyError:  # pragma: no cover - library covers every Op member
+        raise SynthesisError(f"no synthesis spec for operator {op}")
+
+
+def default_op_latencies() -> dict[Op, int]:
+    """Cycle latencies for the DFG scheduler's realistic mode."""
+    return {op: spec.latency for op, spec in OP_LIBRARY.items()}

@@ -1,0 +1,60 @@
+"""RAM block model.
+
+The architectures the paper targets expose discrete RAM blocks with a
+fixed bit capacity, configurable aspect ratio and a small number of access
+ports; there is no unified address space, so the compiler binds each array
+to its own block(s) and accesses to *distinct* blocks may proceed
+concurrently (the property CPA-RA exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.errors import BindingError
+from repro.ir.expr import Array
+
+__all__ = ["RamSpec", "blocks_needed"]
+
+
+@dataclass(frozen=True)
+class RamSpec:
+    """Parameters of one RAM block type.
+
+    Attributes
+    ----------
+    kbits:
+        Capacity in kilobits.
+    ports:
+        Simultaneous accesses the block supports per cycle.
+    latency:
+        Access latency in cycles (the paper's ``L``; registers take the
+        role of latency-0/1 storage).
+    """
+
+    kbits: int = 4
+    ports: int = 1
+    latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kbits <= 0:
+            raise BindingError("RAM capacity must be positive")
+        if self.ports not in (1, 2):
+            raise BindingError("RAM blocks support 1 or 2 ports")
+        if self.latency < 1:
+            raise BindingError("RAM access latency must be >= 1 cycle")
+
+    @property
+    def bits(self) -> int:
+        return self.kbits * 1024
+
+
+def blocks_needed(array: Array, spec: RamSpec) -> int:
+    """BlockRAM primitives required to hold ``array`` at its bit-width.
+
+    Wide/deep arrays span multiple physical blocks; they still behave as
+    one logical RAM with ``spec.ports`` ports (the synthesized wrapper
+    decodes across blocks).
+    """
+    return max(1, ceil(array.bits / spec.bits))

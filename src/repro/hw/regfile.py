@@ -1,0 +1,51 @@
+"""Register resource accounting.
+
+Registers on fine-grain configurable fabrics are slice flip-flops: each
+data register of width ``w`` consumes ``w`` flip-flops (``w/2`` slices).
+The budget the paper imposes (64 data-reuse registers) is a *count* of
+scalar registers, orthogonal to the flip-flop capacity check done here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.errors import SynthesisError
+from repro.hw.device import Device
+
+__all__ = ["RegisterFile"]
+
+
+@dataclass(frozen=True)
+class RegisterFile:
+    """A pool of scalar data registers of uniform width.
+
+    Attributes
+    ----------
+    count:
+        Number of scalar registers.
+    width:
+        Bits per register.
+    """
+
+    count: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise SynthesisError("register count must be >= 0")
+        if not 1 <= self.width <= 64:
+            raise SynthesisError(f"register width {self.width} out of range")
+
+    @property
+    def flipflops(self) -> int:
+        return self.count * self.width
+
+    @property
+    def slices(self) -> int:
+        """Slices consumed by storage alone (2 flip-flops per slice)."""
+        return ceil(self.flipflops / 2)
+
+    def fits(self, device: Device) -> bool:
+        return self.flipflops <= device.register_bits

@@ -1,0 +1,75 @@
+"""The repro intermediate representation: affine loop nests over arrays.
+
+Public surface::
+
+    from repro.ir import (
+        KernelBuilder, Kernel, Loop, LoopNest, Assign,
+        Array, ArrayRef, AffineIndex, Load, BinOp, UnaryOp, Const, Op,
+        DataType, INT8, UINT8, INT16, UINT16, INT32, UINT32, BIT,
+        pretty, validate_kernel,
+    )
+"""
+
+from repro.ir.builder import ArrayHandle, KernelBuilder, LoopHandle
+from repro.ir.expr import (
+    AffineIndex,
+    Array,
+    ArrayRef,
+    BinOp,
+    Const,
+    Expr,
+    IndexValue,
+    Load,
+    Op,
+    UnaryOp,
+    loads_in,
+    walk_expr,
+)
+from repro.ir.kernel import Kernel
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.pretty import pretty
+from repro.ir.stmt import Assign, ReferenceSite
+from repro.ir.types import (
+    BIT,
+    INT8,
+    INT16,
+    INT32,
+    UINT8,
+    UINT16,
+    UINT32,
+    DataType,
+)
+from repro.ir.validate import validate_kernel
+
+__all__ = [
+    "AffineIndex",
+    "Array",
+    "ArrayHandle",
+    "ArrayRef",
+    "Assign",
+    "BIT",
+    "BinOp",
+    "Const",
+    "DataType",
+    "Expr",
+    "INT8",
+    "INT16",
+    "INT32",
+    "IndexValue",
+    "Kernel",
+    "KernelBuilder",
+    "Load",
+    "Loop",
+    "LoopHandle",
+    "LoopNest",
+    "Op",
+    "ReferenceSite",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UnaryOp",
+    "loads_in",
+    "pretty",
+    "validate_kernel",
+    "walk_expr",
+]

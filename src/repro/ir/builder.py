@@ -1,0 +1,156 @@
+"""A fluent builder for kernels.
+
+The raw IR constructors are verbose (every subscript is an explicit
+:class:`AffineIndex`).  The builder lets kernel definitions read close to
+the original C::
+
+    b = KernelBuilder("fir")
+    i = b.loop("i", 1024)
+    j = b.loop("j", 32)
+    x = b.array("x", (1055,), INT16)
+    c = b.array("c", (32,), INT16)
+    y = b.array("y", (1024,), INT32, role="output")
+    b.assign(y[i], y[i] + c[j] * x[i + j])
+    kernel = b.build()
+
+Index arithmetic (``i + j``, ``2 * i + 1``) stays affine by construction:
+loop handles overload ``+``/``-``/``*`` to build :class:`AffineIndex`
+values, and subscripting an array handle with them yields loads/targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IRError
+from repro.ir.expr import (
+    AffineIndex,
+    Array,
+    ArrayRef,
+    Const,
+    Expr,
+    Load,
+)
+from repro.ir.kernel import Kernel
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.stmt import Assign
+from repro.ir.types import DataType, INT32
+from repro.ir.validate import validate_kernel
+
+__all__ = ["KernelBuilder", "LoopHandle", "ArrayHandle"]
+
+
+@dataclass(frozen=True)
+class LoopHandle:
+    """A loop variable usable in subscript arithmetic."""
+
+    var: str
+
+    def index(self) -> AffineIndex:
+        return AffineIndex.var(self.var)
+
+    def __add__(self, other: "LoopHandle | AffineIndex | int") -> AffineIndex:
+        return self.index() + _as_index(other)
+
+    def __radd__(self, other: "AffineIndex | int") -> AffineIndex:
+        return _as_index(other) + self.index()
+
+    def __sub__(self, other: "LoopHandle | AffineIndex | int") -> AffineIndex:
+        return self.index() - _as_index(other)
+
+    def __rsub__(self, other: "AffineIndex | int") -> AffineIndex:
+        return _as_index(other) - self.index()
+
+    def __mul__(self, factor: int) -> AffineIndex:
+        if not isinstance(factor, int):
+            raise IRError("loop variables can only be scaled by integers")
+        return self.index().scale(factor)
+
+    def __rmul__(self, factor: int) -> AffineIndex:
+        return self.__mul__(factor)
+
+
+def _as_index(value: "LoopHandle | AffineIndex | int") -> AffineIndex:
+    if isinstance(value, LoopHandle):
+        return value.index()
+    if isinstance(value, AffineIndex):
+        return value
+    if isinstance(value, int):
+        return AffineIndex.const(value)
+    raise IRError(f"cannot use {value!r} as an array subscript")
+
+
+@dataclass(frozen=True)
+class ArrayHandle:
+    """An array usable with ``handle[subscript, ...]`` to form references."""
+
+    array: Array
+
+    def __getitem__(
+        self, subscripts: "LoopHandle | AffineIndex | int | tuple"
+    ) -> Load:
+        if not isinstance(subscripts, tuple):
+            subscripts = (subscripts,)
+        indices = tuple(_as_index(s) for s in subscripts)
+        return Load(ArrayRef(self.array, indices))
+
+
+class KernelBuilder:
+    """Accumulates loops, arrays and statements, then builds a validated kernel."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self._name = name
+        self._description = description
+        self._loops: list[Loop] = []
+        self._arrays: dict[str, Array] = {}
+        self._body: list[Assign] = []
+
+    # -- declarations --------------------------------------------------------
+
+    def loop(self, var: str, upper: int, lower: int = 0, step: int = 1) -> LoopHandle:
+        """Declare the next (inner) loop of the perfect nest."""
+        if any(loop.var == var for loop in self._loops):
+            raise IRError(f"duplicate loop variable {var!r}")
+        self._loops.append(Loop(var, upper, lower, step))
+        return LoopHandle(var)
+
+    def array(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: DataType = INT32,
+        role: str = "input",
+    ) -> ArrayHandle:
+        """Declare an array; re-declaring the same name is an error."""
+        if name in self._arrays:
+            raise IRError(f"duplicate array {name!r}")
+        arr = Array(name, shape, dtype, role)
+        self._arrays[name] = arr
+        return ArrayHandle(arr)
+
+    # -- statements -----------------------------------------------------------
+
+    def assign(self, target: Load, expr: Expr | int) -> None:
+        """Append ``target = expr`` to the body.
+
+        The target is passed as a :class:`Load` (what subscripting an
+        :class:`ArrayHandle` yields); only its reference is used.
+        """
+        if not isinstance(target, Load):
+            raise IRError("assignment target must be an array subscript expression")
+        if isinstance(expr, int):
+            expr = Const(expr)
+        self._body.append(Assign(target.ref, expr))
+
+    def accumulate(self, target: Load, expr: Expr) -> None:
+        """Append ``target += expr`` (sugar for an accumulation assign)."""
+        self.assign(target, Load(target.ref) + expr)
+
+    # -- build ----------------------------------------------------------------
+
+    def build(self, validate: bool = True) -> Kernel:
+        nest = LoopNest(tuple(self._loops), tuple(self._body))
+        kernel = Kernel(self._name, nest, self._description)
+        if validate:
+            validate_kernel(kernel)
+        return kernel

@@ -1,0 +1,442 @@
+"""Expressions for the repro IR: affine index functions and operand trees.
+
+Two expression families live here.
+
+* :class:`AffineIndex` — an affine function ``sum(c_v * v) + offset`` of the
+  enclosing loop variables.  The paper's entire analysis (data reuse,
+  dependence distance, register requirements) assumes array subscripts are
+  affine in the loop indices; making that a dedicated type lets the analysis
+  read coefficients directly instead of pattern-matching syntax.
+
+* :class:`Expr` and friends — the right-hand-side operand trees of
+  statements: array loads, integer constants, loop-index values and
+  fixed-arity operators.  These become the operation nodes of the data-flow
+  graph in :mod:`repro.dfg`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.ir.types import BIT, DataType, INT32
+
+__all__ = [
+    "AffineIndex",
+    "Array",
+    "ArrayRef",
+    "Op",
+    "Expr",
+    "Const",
+    "IndexValue",
+    "Load",
+    "BinOp",
+    "UnaryOp",
+    "walk_expr",
+    "loads_in",
+]
+
+
+# ---------------------------------------------------------------------------
+# Affine index functions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """An affine function of loop variables: ``sum(coeff[v] * v) + offset``.
+
+    ``terms`` is kept canonically sorted by variable name with zero
+    coefficients dropped, so structural equality and hashing behave as
+    mathematical equality.
+    """
+
+    terms: tuple[tuple[str, int], ...]
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        cleaned = tuple(sorted((v, int(c)) for v, c in self.terms if int(c) != 0))
+        names = [v for v, _ in cleaned]
+        if len(set(names)) != len(names):
+            raise IRError(f"duplicate loop variable in affine index: {names}")
+        object.__setattr__(self, "terms", cleaned)
+        object.__setattr__(self, "offset", int(self.offset))
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def of(mapping: Mapping[str, int] | None = None, offset: int = 0) -> "AffineIndex":
+        """Build from a ``{var: coeff}`` mapping."""
+        mapping = mapping or {}
+        return AffineIndex(tuple(mapping.items()), offset)
+
+    @staticmethod
+    def var(name: str, coeff: int = 1, offset: int = 0) -> "AffineIndex":
+        """Build ``coeff*name + offset``."""
+        return AffineIndex(((name, coeff),), offset)
+
+    @staticmethod
+    def const(value: int) -> "AffineIndex":
+        """Build a constant subscript."""
+        return AffineIndex((), value)
+
+    # -- algebra -----------------------------------------------------------
+
+    def __add__(self, other: "AffineIndex | int"):
+        if isinstance(other, int):
+            return AffineIndex(self.terms, self.offset + other)
+        if not isinstance(other, AffineIndex):
+            return NotImplemented  # let LoopHandle.__radd__ handle it
+        coeffs = dict(self.terms)
+        for v, c in other.terms:
+            coeffs[v] = coeffs.get(v, 0) + c
+        return AffineIndex.of(coeffs, self.offset + other.offset)
+
+    def __sub__(self, other: "AffineIndex | int"):
+        if isinstance(other, int):
+            return self + (-other)
+        if not isinstance(other, AffineIndex):
+            return NotImplemented  # let LoopHandle.__rsub__ handle it
+        return self + other.scale(-1)
+
+    def scale(self, factor: int) -> "AffineIndex":
+        """Multiply every coefficient and the offset by ``factor``."""
+        return AffineIndex(
+            tuple((v, c * factor) for v, c in self.terms), self.offset * factor
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def coeffs(self) -> dict[str, int]:
+        return dict(self.terms)
+
+    def coeff(self, var: str) -> int:
+        return self.coeffs.get(var, 0)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(v for v, _ in self.terms)
+
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def depends_on(self, var: str) -> bool:
+        return self.coeff(var) != 0
+
+    def evaluate(self, point: Mapping[str, int]) -> int:
+        """Evaluate at a concrete iteration ``point`` ({var: value})."""
+        total = self.offset
+        for v, c in self.terms:
+            if v not in point:
+                raise IRError(f"affine index uses unbound variable {v!r}")
+            total += c * point[v]
+        return total
+
+    def evaluate_grid(self, grids: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Vectorized :meth:`evaluate` over broadcastable per-var grids."""
+        total: np.ndarray | int = self.offset
+        for v, c in self.terms:
+            if v not in grids:
+                raise IRError(f"affine index uses unbound variable {v!r}")
+            total = total + c * grids[v]
+        if isinstance(total, int):
+            shape = np.broadcast_shapes(*(g.shape for g in grids.values())) if grids else ()
+            return np.full(shape, total, dtype=np.int64)
+        return np.asarray(total, dtype=np.int64)
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for v, c in self.terms:
+            if c == 1:
+                parts.append(v)
+            elif c == -1:
+                parts.append(f"-{v}")
+            else:
+                parts.append(f"{c}*{v}")
+        if self.offset or not parts:
+            parts.append(str(self.offset))
+        text = parts[0]
+        for part in parts[1:]:
+            text += f" - {part[1:]}" if part.startswith("-") else f" + {part}"
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Arrays and references
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Array:
+    """A named multi-dimensional array variable.
+
+    ``role`` distinguishes how the hardware design treats the array:
+    ``"input"`` arrays arrive pre-loaded in a RAM block, ``"output"`` arrays
+    must have every final value stored to a RAM block, and ``"temp"`` arrays
+    are internal (may be register-only if fully scalar-replaced).
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: DataType = INT32
+    role: str = "input"
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise IRError(f"array name must be an identifier, got {self.name!r}")
+        if not self.shape or any(s <= 0 for s in self.shape):
+            raise IRError(f"array {self.name!r} needs positive dimensions, got {self.shape}")
+        if self.role not in ("input", "output", "temp"):
+            raise IRError(f"array role must be input/output/temp, got {self.role!r}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def bits(self) -> int:
+        """Total storage footprint in bits."""
+        return self.size * self.dtype.bits
+
+    def __str__(self) -> str:
+        dims = "".join(f"[{s}]" for s in self.shape)
+        return f"{self.dtype} {self.name}{dims}"
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A subscripted occurrence of an array: ``name[idx0][idx1]...``.
+
+    Equality is structural (same array, same affine index functions), which
+    is exactly the paper's notion of "reference": two textually identical
+    references access the same data and are grouped by the analysis.
+    """
+
+    array: Array
+    indices: tuple[AffineIndex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != self.array.rank:
+            raise IRError(
+                f"{self.array.name} has rank {self.array.rank}, "
+                f"got {len(self.indices)} subscripts"
+            )
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for idx in self.indices:
+            out |= idx.variables()
+        return out
+
+    def depends_on(self, var: str) -> bool:
+        return any(idx.depends_on(var) for idx in self.indices)
+
+    def address(self, point: Mapping[str, int]) -> tuple[int, ...]:
+        """Concrete element coordinates at iteration ``point`` (bounds-checked)."""
+        coords = tuple(idx.evaluate(point) for idx in self.indices)
+        for axis, (c, s) in enumerate(zip(coords, self.array.shape)):
+            if not 0 <= c < s:
+                raise IRError(
+                    f"{self} out of bounds at {dict(point)}: axis {axis} index {c} "
+                    f"not in [0, {s})"
+                )
+        return coords
+
+    def flat_address_grid(self, grids: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Vectorized flattened (row-major) element index over iteration grids."""
+        flat: np.ndarray | None = None
+        for idx, dim in zip(self.indices, self.array.shape):
+            coord = idx.evaluate_grid(grids)
+            if np.any((coord < 0) | (coord >= dim)):
+                raise IRError(f"{self} indexes outside array bounds (dim {dim})")
+            flat = coord if flat is None else flat * dim + coord
+        assert flat is not None
+        return flat
+
+    def __str__(self) -> str:
+        return self.array.name + "".join(f"[{idx}]" for idx in self.indices)
+
+
+# ---------------------------------------------------------------------------
+# Operand expression trees
+# ---------------------------------------------------------------------------
+
+
+class Op(Enum):
+    """Operators available to kernel bodies.
+
+    The operator set covers the paper's six kernels: multiply/accumulate
+    (FIR, MAT, IMI), comparison and counting (PAT), and bitwise correlation
+    (BIC).  Latency/area per operator live in :mod:`repro.hw.ops`.
+    """
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    GT = ">"
+    AND = "&"
+    OR = "|"
+    XOR = "^"
+    SHL = "<<"
+    SHR = ">>"
+    NOT = "~"
+    NEG = "neg"
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in (Op.EQ, Op.NE, Op.LT, Op.GT)
+
+    @property
+    def is_unary(self) -> bool:
+        return self in (Op.NOT, Op.NEG)
+
+
+class Expr:
+    """Base class of operand trees; concrete nodes are dataclasses below."""
+
+    dtype: DataType
+
+    # Operator sugar so kernel definitions read like the original C.
+    def __add__(self, other: "Expr | int") -> "BinOp":
+        return BinOp(Op.ADD, self, _coerce(other))
+
+    def __sub__(self, other: "Expr | int") -> "BinOp":
+        return BinOp(Op.SUB, self, _coerce(other))
+
+    def __mul__(self, other: "Expr | int") -> "BinOp":
+        return BinOp(Op.MUL, self, _coerce(other))
+
+    def __and__(self, other: "Expr | int") -> "BinOp":
+        return BinOp(Op.AND, self, _coerce(other))
+
+    def __or__(self, other: "Expr | int") -> "BinOp":
+        return BinOp(Op.OR, self, _coerce(other))
+
+    def __xor__(self, other: "Expr | int") -> "BinOp":
+        return BinOp(Op.XOR, self, _coerce(other))
+
+    def eq(self, other: "Expr | int") -> "BinOp":
+        return BinOp(Op.EQ, self, _coerce(other))
+
+    def ne(self, other: "Expr | int") -> "BinOp":
+        return BinOp(Op.NE, self, _coerce(other))
+
+    def lt(self, other: "Expr | int") -> "BinOp":
+        return BinOp(Op.LT, self, _coerce(other))
+
+
+def _coerce(value: "Expr | int") -> "Expr":
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int):
+        return Const(value)
+    raise IRError(f"cannot use {value!r} as an expression operand")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer literal operand."""
+
+    value: int
+    dtype: DataType = INT32
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class IndexValue(Expr):
+    """The current value of a loop index used as a datapath operand."""
+
+    var: str
+    dtype: DataType = INT32
+
+    def __str__(self) -> str:
+        return self.var
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """A read of an array element; the leaf the allocators care about."""
+
+    ref: ArrayRef
+
+    @property
+    def dtype(self) -> DataType:  # type: ignore[override]
+        return self.ref.array.dtype
+
+    def __str__(self) -> str:
+        return str(self.ref)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operator node."""
+
+    op: Op
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op.is_unary:
+            raise IRError(f"{self.op} is unary; use UnaryOp")
+
+    @property
+    def dtype(self) -> DataType:  # type: ignore[override]
+        if self.op.is_comparison:
+            return BIT
+        left, right = self.left.dtype, self.right.dtype
+        return left if left.bits >= right.bits else right
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op.value} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """A unary operator node (bitwise not, negation)."""
+
+    op: Op
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if not self.op.is_unary:
+            raise IRError(f"{self.op} is binary; use BinOp")
+
+    @property
+    def dtype(self) -> DataType:  # type: ignore[override]
+        return self.operand.dtype
+
+    def __str__(self) -> str:
+        return f"({self.op.value}{self.operand})"
+
+
+# ---------------------------------------------------------------------------
+# Tree walking helpers
+# ---------------------------------------------------------------------------
+
+
+def walk_expr(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every sub-expression, depth-first, operands first."""
+    if isinstance(expr, BinOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_expr(expr.operand)
+    yield expr
+
+
+def loads_in(expr: Expr) -> list[Load]:
+    """All array loads in ``expr``, in left-to-right operand order."""
+    return [node for node in walk_expr(expr) if isinstance(node, Load)]

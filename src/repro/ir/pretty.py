@@ -1,0 +1,32 @@
+"""C-like pretty printer for kernels.
+
+Useful for reports, examples and debugging: ``print(pretty(kernel))``
+renders the kernel roughly as the original source the paper transformed.
+"""
+
+from __future__ import annotations
+
+from repro.ir.kernel import Kernel
+
+__all__ = ["pretty"]
+
+
+def pretty(kernel: Kernel) -> str:
+    """Render ``kernel`` as indented C-like text."""
+    lines: list[str] = []
+    if kernel.description:
+        lines.append(f"/* {kernel.name}: {kernel.description} */")
+    else:
+        lines.append(f"/* {kernel.name} */")
+    for array in sorted(kernel.arrays.values(), key=lambda a: a.name):
+        lines.append(f"{array};  /* {array.role} */")
+    indent = ""
+    for loop in kernel.nest.loops:
+        lines.append(f"{indent}{loop} {{")
+        indent += "  "
+    for stmt in kernel.nest.body:
+        lines.append(f"{indent}{stmt}")
+    for _ in kernel.nest.loops:
+        indent = indent[:-2]
+        lines.append(f"{indent}}}")
+    return "\n".join(lines)

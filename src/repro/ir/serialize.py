@@ -1,0 +1,166 @@
+"""JSON (de)serialization of kernels.
+
+Lets kernels travel between tools (the CLI accepts kernel files, test
+fixtures can be stored on disk, downstream scripts can generate kernels
+without importing the builder).  The format is a direct, versioned
+transcription of the IR; round-tripping is exact and covered by tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import IRError
+from repro.ir.expr import (
+    AffineIndex,
+    Array,
+    ArrayRef,
+    BinOp,
+    Const,
+    Expr,
+    IndexValue,
+    Load,
+    Op,
+    UnaryOp,
+)
+from repro.ir.kernel import Kernel
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.stmt import Assign
+from repro.ir.types import DataType
+from repro.ir.validate import validate_kernel
+
+__all__ = ["kernel_to_json", "kernel_from_json"]
+
+_FORMAT_VERSION = 1
+
+
+def kernel_to_json(kernel: Kernel, indent: int | None = 2) -> str:
+    """Serialize ``kernel`` to a JSON string."""
+    doc = {
+        "format": _FORMAT_VERSION,
+        "name": kernel.name,
+        "description": kernel.description,
+        "arrays": [
+            {
+                "name": a.name,
+                "shape": list(a.shape),
+                "bits": a.dtype.bits,
+                "signed": a.dtype.signed,
+                "role": a.role,
+            }
+            for a in sorted(kernel.arrays.values(), key=lambda a: a.name)
+        ],
+        "loops": [
+            {"var": l.var, "lower": l.lower, "upper": l.upper, "step": l.step}
+            for l in kernel.nest.loops
+        ],
+        "body": [
+            {"target": _ref_doc(stmt.target), "expr": _expr_doc(stmt.expr)}
+            for stmt in kernel.nest.body
+        ],
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def kernel_from_json(text: str) -> Kernel:
+    """Parse a kernel from :func:`kernel_to_json` output (validated)."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise IRError(f"invalid kernel JSON: {exc}") from exc
+    if doc.get("format") != _FORMAT_VERSION:
+        raise IRError(
+            f"unsupported kernel format {doc.get('format')!r}; "
+            f"expected {_FORMAT_VERSION}"
+        )
+    arrays = {
+        spec["name"]: Array(
+            spec["name"],
+            tuple(spec["shape"]),
+            DataType(spec["bits"], spec["signed"]),
+            spec["role"],
+        )
+        for spec in doc["arrays"]
+    }
+    loops = tuple(
+        Loop(spec["var"], spec["upper"], spec["lower"], spec["step"])
+        for spec in doc["loops"]
+    )
+    body = tuple(
+        Assign(
+            _ref_parse(stmt["target"], arrays),
+            _expr_parse(stmt["expr"], arrays),
+        )
+        for stmt in doc["body"]
+    )
+    kernel = Kernel(doc["name"], LoopNest(loops, body), doc.get("description", ""))
+    validate_kernel(kernel)
+    return kernel
+
+
+# -- expression documents -----------------------------------------------------
+
+
+def _ref_doc(ref: ArrayRef) -> dict[str, Any]:
+    return {
+        "array": ref.array.name,
+        "indices": [
+            {"terms": dict(idx.terms), "offset": idx.offset}
+            for idx in ref.indices
+        ],
+    }
+
+
+def _ref_parse(doc: dict[str, Any], arrays: dict[str, Array]) -> ArrayRef:
+    try:
+        array = arrays[doc["array"]]
+    except KeyError:
+        raise IRError(f"reference to undeclared array {doc.get('array')!r}")
+    indices = tuple(
+        AffineIndex.of(
+            {str(v): int(c) for v, c in idx["terms"].items()}, idx["offset"]
+        )
+        for idx in doc["indices"]
+    )
+    return ArrayRef(array, indices)
+
+
+def _expr_doc(expr: Expr) -> dict[str, Any]:
+    if isinstance(expr, Const):
+        return {"kind": "const", "value": expr.value, "bits": expr.dtype.bits,
+                "signed": expr.dtype.signed}
+    if isinstance(expr, IndexValue):
+        return {"kind": "index", "var": expr.var}
+    if isinstance(expr, Load):
+        return {"kind": "load", "ref": _ref_doc(expr.ref)}
+    if isinstance(expr, BinOp):
+        return {
+            "kind": "binop",
+            "op": expr.op.name,
+            "left": _expr_doc(expr.left),
+            "right": _expr_doc(expr.right),
+        }
+    if isinstance(expr, UnaryOp):
+        return {"kind": "unop", "op": expr.op.name,
+                "operand": _expr_doc(expr.operand)}
+    raise IRError(f"cannot serialize expression {expr!r}")
+
+
+def _expr_parse(doc: dict[str, Any], arrays: dict[str, Array]) -> Expr:
+    kind = doc.get("kind")
+    if kind == "const":
+        return Const(doc["value"], DataType(doc["bits"], doc["signed"]))
+    if kind == "index":
+        return IndexValue(doc["var"])
+    if kind == "load":
+        return Load(_ref_parse(doc["ref"], arrays))
+    if kind == "binop":
+        return BinOp(
+            Op[doc["op"]],
+            _expr_parse(doc["left"], arrays),
+            _expr_parse(doc["right"], arrays),
+        )
+    if kind == "unop":
+        return UnaryOp(Op[doc["op"]], _expr_parse(doc["operand"], arrays))
+    raise IRError(f"unknown expression kind {kind!r}")

@@ -1,0 +1,89 @@
+"""Statements for the repro IR.
+
+A kernel body is an ordered list of :class:`Assign` statements executed once
+per innermost iteration.  Ordering matters: a statement may read an array
+element written by an *earlier* statement of the same iteration (the paper's
+running example does exactly this with ``d[i][k]``), and the DFG builder
+turns that into a forwarding edge rather than a memory round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IRError
+from repro.ir.expr import ArrayRef, Expr, Load, loads_in
+
+__all__ = ["Assign", "ReferenceSite"]
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target = expr``, where ``target`` is an array reference.
+
+    Accumulations (``y[i] += ...``) are expressed by loading the target in
+    ``expr``; :meth:`is_accumulation` detects that shape so the analysis can
+    coalesce the read and write sites into one register group.
+    """
+
+    target: ArrayRef
+    expr: Expr
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.target, ArrayRef):
+            raise IRError(f"assignment target must be an ArrayRef, got {self.target!r}")
+        if not isinstance(self.expr, Expr):
+            raise IRError(f"assignment RHS must be an Expr, got {self.expr!r}")
+
+    def loads(self) -> list[Load]:
+        return loads_in(self.expr)
+
+    def is_accumulation(self) -> bool:
+        """True when the RHS reads the same element the statement writes."""
+        return any(load.ref == self.target for load in self.loads())
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr};"
+
+
+@dataclass(frozen=True)
+class ReferenceSite:
+    """One textual occurrence of an array reference inside a kernel body.
+
+    This is the unit the paper allocates registers to.  Identity is the
+    position in the body (statement index plus occurrence index), not just
+    the reference structure, so two loads of ``a[k]`` in different statements
+    are distinct sites (they are *grouped* later by
+    :mod:`repro.analysis.groups` when profitable).
+
+    Attributes
+    ----------
+    ref:
+        The array reference being accessed.
+    stmt_index:
+        Index of the statement in the kernel body.
+    occurrence:
+        Occurrence counter of this exact reference within the statement
+        (0 for the first, 1 for a repeated load of the same reference, ...).
+    is_write:
+        True for the statement target, False for RHS loads.
+    """
+
+    ref: ArrayRef
+    stmt_index: int
+    occurrence: int
+    is_write: bool
+
+    @property
+    def site_id(self) -> str:
+        """Stable, human-readable identity, e.g. ``"s0/w:d[i][k]"``."""
+        kind = "w" if self.is_write else "r"
+        suffix = f"#{self.occurrence}" if self.occurrence else ""
+        return f"s{self.stmt_index}/{kind}:{self.ref}{suffix}"
+
+    @property
+    def array_name(self) -> str:
+        return self.ref.array.name
+
+    def __str__(self) -> str:
+        return self.site_id

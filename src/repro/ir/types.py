@@ -1,0 +1,112 @@
+"""Scalar data types for the repro IR.
+
+The target architectures in the paper (Virtex-class FPGAs) have no fixed
+word size: datapaths are synthesized at the bit-width the computation needs
+(8-bit pixels, 16-bit samples, ...).  The IR therefore carries an explicit
+:class:`DataType` with a bit-width and signedness on every array and scalar.
+Bit-widths matter downstream: the operator library in :mod:`repro.hw.ops`
+prices latency/area per width, and the synthesis estimator charges register
+area per bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import IRError
+
+__all__ = [
+    "DataType",
+    "INT8",
+    "UINT8",
+    "INT16",
+    "UINT16",
+    "INT32",
+    "UINT32",
+    "BIT",
+]
+
+
+@dataclass(frozen=True, order=True)
+class DataType:
+    """A fixed-point/integer scalar type with an explicit bit-width.
+
+    Parameters
+    ----------
+    bits:
+        Width in bits, 1..64.
+    signed:
+        Two's-complement signedness.  One-bit types must be unsigned.
+    """
+
+    bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 64:
+            raise IRError(f"DataType width must be in [1, 64], got {self.bits}")
+        if self.bits == 1 and self.signed:
+            raise IRError("1-bit types must be unsigned")
+
+    @property
+    def name(self) -> str:
+        prefix = "int" if self.signed else "uint"
+        if self.bits == 1:
+            return "bit"
+        return f"{prefix}{self.bits}"
+
+    @property
+    def min_value(self) -> int:
+        if self.signed:
+            return -(1 << (self.bits - 1))
+        return 0
+
+    @property
+    def max_value(self) -> int:
+        if self.signed:
+            return (1 << (self.bits - 1)) - 1
+        return (1 << self.bits) - 1
+
+    def numpy_dtype(self) -> np.dtype:
+        """The narrowest numpy dtype that holds this type without overflow.
+
+        The functional interpreter computes in int64 and wraps explicitly,
+        so the storage dtype only needs to *hold* the value range.
+        """
+        for candidate_bits in (8, 16, 32, 64):
+            if self.bits <= candidate_bits:
+                kind = "i" if self.signed else "u"
+                return np.dtype(f"{kind}{candidate_bits // 8}")
+        raise IRError(f"no numpy dtype for {self}")  # pragma: no cover
+
+    def wrap(self, values: np.ndarray) -> np.ndarray:
+        """Wrap int64 ``values`` into this type's range (modular arithmetic).
+
+        Models the hardware behaviour of a fixed-width datapath: results are
+        truncated to ``bits`` and reinterpreted according to signedness.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        mask = (1 << self.bits) - 1
+        wrapped = values & mask
+        if self.signed:
+            sign_bit = 1 << (self.bits - 1)
+            wrapped = (wrapped ^ sign_bit) - sign_bit
+        return wrapped
+
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` is representable without wrapping."""
+        return self.min_value <= value <= self.max_value
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT8 = DataType(8, signed=True)
+UINT8 = DataType(8, signed=False)
+INT16 = DataType(16, signed=True)
+UINT16 = DataType(16, signed=False)
+INT32 = DataType(32, signed=True)
+UINT32 = DataType(32, signed=False)
+BIT = DataType(1, signed=False)

@@ -1,0 +1,85 @@
+"""Structural validation of kernels.
+
+Checks the assumptions every downstream stage relies on, and that the paper
+states up-front: perfect nests, compile-time rectangular bounds, affine
+subscripts over enclosing loop variables only, and in-bounds accesses over
+the entire iteration space.  Bounds are checked exactly (vectorized over
+the iteration grid), not sampled — a kernel that validates cannot trap the
+interpreter or the cycle counter later.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.ir.expr import Load, walk_expr
+from repro.ir.kernel import Kernel
+
+__all__ = ["validate_kernel"]
+
+# Iteration spaces above this are validated analytically (corner checks on
+# monotone affine functions) instead of materializing full grids.
+_GRID_LIMIT = 4_000_000
+
+
+def validate_kernel(kernel: Kernel) -> None:
+    """Raise :class:`ValidationError` unless ``kernel`` is well-formed."""
+    _check_variables(kernel)
+    _check_bounds(kernel)
+    _check_writes(kernel)
+
+
+def _check_variables(kernel: Kernel) -> None:
+    declared = set(kernel.loop_vars)
+    for site in kernel.reference_sites():
+        used = site.ref.variables()
+        unknown = used - declared
+        if unknown:
+            raise ValidationError(
+                f"kernel {kernel.name}: reference {site.ref} uses variables "
+                f"{sorted(unknown)} not bound by loops {kernel.loop_vars}"
+            )
+
+
+def _check_bounds(kernel: Kernel) -> None:
+    """Every subscript stays inside its array dimension over the whole space.
+
+    All subscripts are affine, so each attains its extrema at corners of the
+    rectangular iteration box; checking the two extreme corners per index is
+    exact and avoids materializing grids for large spaces.
+    """
+    loops = {loop.var: loop for loop in kernel.nest.loops}
+    for site in kernel.reference_sites():
+        for axis, (idx, dim) in enumerate(zip(site.ref.indices, site.ref.array.shape)):
+            low = high = idx.offset
+            for var, coeff in idx.terms:
+                loop = loops[var]
+                last = loop.lower + (loop.trip_count - 1) * loop.step
+                values = (coeff * loop.lower, coeff * last)
+                low += min(values)
+                high += max(values)
+            if low < 0 or high >= dim:
+                raise ValidationError(
+                    f"kernel {kernel.name}: {site.ref} axis {axis} spans "
+                    f"[{low}, {high}] outside [0, {dim})"
+                )
+
+
+def _check_writes(kernel: Kernel) -> None:
+    """Input arrays must not be written; written temps/outputs may be read."""
+    for stmt in kernel.nest.body:
+        target = stmt.target.array
+        if target.role == "input":
+            raise ValidationError(
+                f"kernel {kernel.name}: writes to input array {target.name!r}; "
+                f"declare it with role='output' or role='temp'"
+            )
+    for stmt in kernel.nest.body:
+        for node in walk_expr(stmt.expr):
+            if isinstance(node, Load) and node.ref.array.role == "output":
+                # Reading an output is fine only if the kernel also writes it
+                # (accumulators); a pure read of an output is a role mistake.
+                if node.ref.array.name not in kernel.written_arrays:
+                    raise ValidationError(
+                        f"kernel {kernel.name}: reads output array "
+                        f"{node.ref.array.name!r} it never writes"
+                    )

@@ -1,0 +1,33 @@
+"""The paper's six image/signal-processing evaluation kernels."""
+
+from repro.kernels.bic import bic_reference, build_bic
+from repro.kernels.decfir import build_decfir, decfir_reference
+from repro.kernels.fir import build_fir, fir_reference
+from repro.kernels.imi import build_imi, imi_reference
+from repro.kernels.mat import build_mat, mat_reference
+from repro.kernels.pat import build_pat, pat_reference
+from repro.kernels.registry import (
+    KERNEL_FACTORIES,
+    PAPER_REGISTER_BUDGET,
+    get_kernel,
+    paper_kernels,
+)
+
+__all__ = [
+    "KERNEL_FACTORIES",
+    "PAPER_REGISTER_BUDGET",
+    "bic_reference",
+    "build_bic",
+    "build_decfir",
+    "build_fir",
+    "build_imi",
+    "build_mat",
+    "build_pat",
+    "decfir_reference",
+    "fir_reference",
+    "get_kernel",
+    "imi_reference",
+    "mat_reference",
+    "paper_kernels",
+    "pat_reference",
+]

@@ -1,0 +1,49 @@
+"""FIR: finite-impulse-response filter (paper section 5).
+
+``y[i] = sum_j c[j] * x[i+j]`` — the paper's first kernel: a convolution
+of a 1024-long vector of 16-bit samples against a 32-tap coefficient
+sequence, as a 2-deep nest.
+
+Reuse structure:
+
+* ``c[j]`` is invariant in ``i`` — full replacement needs ``taps``
+  registers and reduces its accesses to one load per coefficient;
+* ``x[i+j]`` is a sliding window — consecutive ``i`` iterations share
+  ``taps - 1`` elements, the classic rotating-register FIR delay line;
+* ``y[i]`` is the accumulator — invariant in ``j``, one register.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import INT16, INT32, Kernel, KernelBuilder
+
+__all__ = ["build_fir", "fir_reference"]
+
+
+def build_fir(n: int = 1024, taps: int = 32) -> Kernel:
+    """Build the FIR kernel: ``n`` outputs, ``taps`` coefficients."""
+    builder = KernelBuilder(
+        "fir", f"{taps}-tap FIR filter over a {n + taps - 1}-sample vector"
+    )
+    i = builder.loop("i", n)
+    j = builder.loop("j", taps)
+    x = builder.array("x", (n + taps - 1,), INT16)
+    c = builder.array("c", (taps,), INT16)
+    y = builder.array("y", (n,), INT32, role="output")
+    builder.assign(y[i], y[i] + c[j] * x[i + j])
+    return builder.build()
+
+
+def fir_reference(
+    x: np.ndarray, c: np.ndarray, wrap_bits: int = 32
+) -> np.ndarray:
+    """Independent numpy implementation (correlation form) for testing."""
+    n = len(x) - len(c) + 1
+    out = np.zeros(n, dtype=np.int64)
+    for j in range(len(c)):
+        out += c[j] * x[j : j + n]
+    mask = (1 << wrap_bits) - 1
+    sign = 1 << (wrap_bits - 1)
+    return ((out & mask) ^ sign) - sign

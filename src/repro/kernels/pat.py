@@ -1,0 +1,48 @@
+"""PAT: string pattern matching (paper section 5).
+
+Counts per-position character matches of a pattern against a
+1024-character string: ``match[i] += (s[i+j] == p[j])`` — occurrences are
+the positions where ``match[i]`` reaches the pattern length.  A 2-deep
+nest with the same sliding-window/invariant structure as FIR but on 8-bit
+data with a comparator instead of a multiplier (the paper's
+non-arithmetic kernel; its v2 regression mirrors Dec-FIR's).
+
+The paper text's pattern/string lengths are OCR-illegible; we use a
+64-character pattern so that full replacement of both ``s`` and ``p``
+(2 x 64 registers) exceeds the 64-register budget — the regime in which
+the paper reports PAT's v2 spending registers without cycle gains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import Kernel, KernelBuilder, UINT8, UINT16
+
+__all__ = ["build_pat", "pat_reference"]
+
+
+def build_pat(text_len: int = 1024, pattern_len: int = 64) -> Kernel:
+    """Build the pattern-match kernel over ``text_len`` characters."""
+    builder = KernelBuilder(
+        "pat",
+        f"match counts of an {pattern_len}-char pattern in a "
+        f"{text_len}-char string",
+    )
+    positions = text_len - pattern_len + 1
+    i = builder.loop("i", positions)
+    j = builder.loop("j", pattern_len)
+    s = builder.array("s", (text_len,), UINT8)
+    p = builder.array("p", (pattern_len,), UINT8)
+    match = builder.array("match", (positions,), UINT16, role="output")
+    builder.assign(match[i], match[i] + s[i + j].eq(p[j]))
+    return builder.build()
+
+
+def pat_reference(s: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """Independent numpy implementation for testing."""
+    positions = len(s) - len(p) + 1
+    out = np.zeros(positions, dtype=np.int64)
+    for j in range(len(p)):
+        out += (s[j : j + positions] == p[j]).astype(np.int64)
+    return out & 0xFFFF

@@ -1,0 +1,290 @@
+"""Coverage: which accesses of a reference group hit registers, exactly.
+
+Given an allocation of ``r`` registers to a reference group, this module
+answers — per iteration of the nest — whether each access is a register hit
+or a RAM access, plus how many prologue/epilogue RAM accesses (pinned-value
+write-backs) occur outside the loop body.  These masks are the single
+source of truth shared by the cycle simulator, the allocators' partial-
+benefit queries and the experiment tables, so planning and "execution"
+cannot drift apart.
+
+Coverage semantics (paper-faithful; see DESIGN.md section 5):
+
+* ``covered(r) = min(r, beta)`` elements of the footprint are register-
+  resident, except that a single register (``r == 1``) is only the
+  mandatory operand buffer and covers nothing — unless full replacement
+  itself needs just one register (``beta == 1``, e.g. accumulators).
+  This reproduces both Figure 2(c) endpoints: FR-RA's one-register
+  references behave naively (Tmem 1800) while PR-RA's 12 registers on
+  ``d`` cover 12 elements (Tmem 1560).
+
+* Invariant references pin the ``covered`` lowest-address elements of the
+  footprint of their best reuse level.  Within each *region* (one sweep of
+  the loops below the carrying level), the first read of a pinned element
+  is a miss, later reads hit; covered writes are deferred entirely and pay
+  one write-back per region (epilogue).
+
+* Sliding-window references are compiler-managed rotating register files:
+  the full access stream is known statically, so placement follows
+  Belady's clairvoyant policy with bypass (:func:`repro.sim.residency.
+  opt_trace`), simulated on the real address stream.  LRU would be wrong
+  here — on strided windows it evicts the whole reusable window with
+  dead values (see the residency ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.analysis.groups import RefGroup
+from repro.errors import AnalysisError
+from repro.ir.kernel import Kernel
+from repro.sim.residency import opt_trace
+
+__all__ = ["GroupCoverage", "CoverageResult", "coverage_for"]
+
+
+@dataclass(frozen=True)
+class CoverageResult:
+    """Exact access behaviour of one group under one register count.
+
+    Attributes
+    ----------
+    read_miss:
+        Bool array over the iteration space (shape = trip counts): True
+        where the group's (first non-forwarded) read needs a RAM access.
+        All-False when the group has no non-forwarded reads.
+    write_miss:
+        Same, for the group's write site(s): True where the store goes to
+        RAM immediately (uncovered element).
+    writeback_stores:
+        Write-back stores of covered, written elements (one per covered
+        written element per region, performed at region boundaries).
+    kind:
+        Coverage policy: ``"pinned"``, ``"window"`` or ``"none"``.
+    covered:
+        Footprint elements kept register-resident (the register-file
+        capacity the policy uses).
+    region_level:
+        1-based carrying loop level; the registers are recycled whenever
+        a loop *above* this level advances.  ``None`` for ``"none"``.
+    retain:
+        For ``"pinned"``: bool grid — True where the accessed element is
+        one of the covered (register-kept) elements.  ``None`` otherwise.
+    window_inserted / window_evicted:
+        For ``"window"``: the Belady placement trace per flattened
+        iteration (install the fetched value? which flat address leaves?),
+        so the interpreter can replay the compiler's register schedule.
+    """
+
+    read_miss: np.ndarray
+    write_miss: np.ndarray
+    writeback_stores: int
+    kind: str = "none"
+    covered: int = 0
+    region_level: "int | None" = None
+    retain: "np.ndarray | None" = None
+    window_inserted: "np.ndarray | None" = None
+    window_evicted: "np.ndarray | None" = None
+    window_freed: "np.ndarray | None" = None
+
+    @property
+    def ram_reads(self) -> int:
+        return int(self.read_miss.sum())
+
+    @property
+    def ram_writes(self) -> int:
+        return int(self.write_miss.sum()) + self.writeback_stores
+
+    @property
+    def total_ram_accesses(self) -> int:
+        return self.ram_reads + self.ram_writes
+
+
+class GroupCoverage:
+    """Coverage computer for one reference group of one kernel."""
+
+    def __init__(self, kernel: Kernel, group: RefGroup) -> None:
+        self.kernel = kernel
+        self.group = group
+        self.beta = group.full_registers
+        self._shape = kernel.nest.trip_counts()
+        best = min(
+            group.profile.points, key=lambda p: (p.accesses, p.registers)
+        )
+        self._best_level = best.level
+        reuse = group.site_reuse
+        self._carrying = reuse.carrying_levels
+        carrying_level = (
+            self._best_level
+            if self._best_level in self._carrying
+            else (self._carrying[0] if self._carrying else None)
+        )
+        self._carrying_level = carrying_level
+        if carrying_level is None:
+            self._kind = "none"
+        else:
+            loop_var = kernel.nest.loops[carrying_level - 1].var
+            self._kind = "pinned" if not group.ref.depends_on(loop_var) else "window"
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def kind(self) -> str:
+        """'pinned', 'window' or 'none'."""
+        return self._kind
+
+    def covered(self, registers: int) -> int:
+        """How many footprint elements ``registers`` keep resident."""
+        if registers < 0:
+            raise AnalysisError(f"negative register count {registers}")
+        if self.beta == 1:
+            return min(registers, 1)
+        if registers < 2:
+            return 0  # the single mandatory register is only a buffer
+        return min(registers, self.beta)
+
+    def result(self, registers: int, anchor: str = "low") -> CoverageResult:
+        """Exact miss masks and write-backs for ``registers``.
+
+        ``anchor`` selects which footprint elements a *partial pinned*
+        coverage keeps: ``"low"`` pins the lowest-ranked (lowest-address)
+        elements, ``"high"`` the highest-ranked.  Savings are identical
+        either way (footprints are uniformly accessed), but the choice
+        decides which *iterations* hit — and aligning pinned hits with a
+        co-allocated window reference's hits is what lets both inputs of
+        an operation arrive from registers (the paper's concurrency
+        argument).  The pipeline searches anchors per design point.
+        """
+        if anchor not in ("low", "high"):
+            raise AnalysisError(f"anchor must be 'low' or 'high', got {anchor!r}")
+        covered = self.covered(registers)
+        has_read = any(
+            not s.is_write and s.site_id not in self.group.forwarded
+            for s in self.group.sites
+        )
+        n_writes = len(self.group.writes)
+        if self._kind == "none" or covered == 0 or not self.group.carries_reuse:
+            read_miss = np.full(self._shape, has_read, dtype=bool)
+            write_miss = (
+                np.full(self._shape, n_writes > 0, dtype=bool)
+                if n_writes
+                else np.zeros(self._shape, dtype=bool)
+            )
+            return CoverageResult(read_miss, write_miss, 0, kind="none")
+        if self._kind == "pinned":
+            return self._pinned_result(covered, has_read, n_writes, anchor)
+        return self._window_result(covered, has_read, n_writes)
+
+    def ram_accesses(self, registers: int) -> int:
+        """Total RAM accesses (loop + epilogue) at ``registers``."""
+        return self.result(registers).total_ram_accesses
+
+    # -- pinned (invariant) coverage -------------------------------------------
+
+    def _region_ranks(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-iteration element rank within its region, plus first-touch flags.
+
+        The region of the carrying level ``l`` is one combination of the
+        loops above ``l``; within a region, elements are ranked by flat
+        address ascending (the canonical pinning order, matching the
+        paper's ``k < 12`` style of partial replacement).
+        """
+        level = self._carrying_level
+        assert level is not None
+        grids = self.kernel.nest.meshgrids()
+        flat = np.broadcast_to(
+            self.group.ref.flat_address_grid(grids), self._shape
+        )
+        outer_size = int(np.prod(self._shape[: level - 1], dtype=np.int64))
+        region_size = int(np.prod(self._shape[level - 1 :], dtype=np.int64))
+        by_region = flat.reshape(outer_size, region_size)
+        ranks = np.empty_like(by_region)
+        first = np.zeros_like(by_region, dtype=bool)
+        for row in range(outer_size):
+            _, first_positions, inverse = np.unique(
+                by_region[row], return_index=True, return_inverse=True
+            )
+            ranks[row] = inverse
+            first[row, first_positions] = True
+        return ranks.reshape(self._shape), first.reshape(self._shape)
+
+    def _pinned_result(
+        self, covered: int, has_read: bool, n_writes: int, anchor: str
+    ) -> CoverageResult:
+        ranks, first_touch = self._region_ranks()
+        if anchor == "low":
+            in_cover = ranks < covered
+        else:
+            region_elements = int(ranks.max()) + 1
+            in_cover = ranks >= region_elements - covered
+        level = self._carrying_level
+        assert level is not None
+        if has_read:
+            # Pinned & already fetched -> hit; first touch or unpinned -> RAM.
+            read_miss = ~(in_cover & ~first_touch)
+        else:
+            read_miss = np.zeros(self._shape, dtype=bool)
+        if n_writes:
+            write_miss = ~in_cover
+            regions = int(np.prod(self._shape[: level - 1], dtype=np.int64))
+            region_elements = int(ranks.max()) + 1
+            writebacks = regions * min(covered, region_elements)
+        else:
+            write_miss = np.zeros(self._shape, dtype=bool)
+            writebacks = 0
+        return CoverageResult(
+            read_miss,
+            write_miss,
+            writebacks,
+            kind="pinned",
+            covered=covered,
+            region_level=level,
+            retain=in_cover,
+        )
+
+    # -- window (LRU) coverage ---------------------------------------------------
+
+    def _window_result(
+        self, covered: int, has_read: bool, n_writes: int
+    ) -> CoverageResult:
+        grids = self.kernel.nest.meshgrids()
+        flat = np.broadcast_to(
+            self.group.ref.flat_address_grid(grids), self._shape
+        )
+        stream = flat.reshape(-1)
+        miss_flags, inserted, evicted, freed = opt_trace(stream, covered)
+        misses = miss_flags.reshape(self._shape)
+        if has_read:
+            read_miss = misses
+        else:
+            read_miss = np.zeros(self._shape, dtype=bool)
+        if n_writes:
+            # Windowed writes: covered stores are coalesced in registers and
+            # flushed on eviction; conservatively charge one store per
+            # register-resident (non-miss) access's final flush via the
+            # covered count, and a direct store per miss.
+            write_miss = misses
+            writebacks = covered
+        else:
+            write_miss = np.zeros(self._shape, dtype=bool)
+            writebacks = 0
+        return CoverageResult(
+            read_miss,
+            write_miss,
+            writebacks,
+            kind="window",
+            covered=covered,
+            region_level=self._carrying_level,
+            window_inserted=inserted,
+            window_evicted=evicted,
+            window_freed=freed,
+        )
+
+
+def coverage_for(kernel: Kernel, groups: "tuple[RefGroup, ...]") -> dict[str, GroupCoverage]:
+    """Coverage computers for every group, keyed by group name."""
+    return {g.name: GroupCoverage(kernel, g) for g in groups}

@@ -1,0 +1,354 @@
+"""Functional interpreters: the semantic ground truth.
+
+Two execution modes over concrete numpy arrays:
+
+* :func:`run_kernel` — direct execution of the IR, every access to
+  memory.  Defines the kernel's meaning.
+* :func:`run_scalar_replaced` — execution through per-group register
+  files driven by the coverage masks: claimed hits *must* find their
+  value in a register (a hard error otherwise — this is how we prove the
+  coverage model is operationally sound, not just a counting trick),
+  misses go to RAM and are counted.  Covered writes are buffered and
+  flushed in the epilogue.  Outputs must match :func:`run_kernel`
+  bit-for-bit; RAM access counts must match the coverage accounting.
+
+Both interpreters evaluate in int64 and wrap results to each array's
+declared bit-width, modelling fixed-width datapaths.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.groups import RefGroup
+from repro.core.allocation import Allocation
+from repro.errors import SimulationError
+from repro.ir.expr import ArrayRef, BinOp, Const, Expr, IndexValue, Load, Op, UnaryOp
+from repro.ir.kernel import Kernel
+from repro.scalar.coverage import GroupCoverage
+
+__all__ = ["run_kernel", "run_scalar_replaced", "ScalarReplacedRun", "random_inputs"]
+
+
+def random_inputs(kernel: Kernel, seed: int = 0) -> dict[str, np.ndarray]:
+    """Deterministic random contents for every input array."""
+    rng = np.random.default_rng(seed)
+    out: dict[str, np.ndarray] = {}
+    for array in kernel.arrays.values():
+        lo = max(array.dtype.min_value, -1 << 20)
+        hi = min(array.dtype.max_value, 1 << 20)
+        data = rng.integers(lo, hi + 1, size=array.shape, dtype=np.int64)
+        if array.role != "input":
+            data = np.zeros(array.shape, dtype=np.int64)
+        out[array.name] = data
+    return out
+
+
+def _eval(expr: Expr, point: dict[str, int], mem: dict[str, np.ndarray]) -> int:
+    if isinstance(expr, Const):
+        return int(expr.value)
+    if isinstance(expr, IndexValue):
+        return int(point[expr.var])
+    if isinstance(expr, Load):
+        coords = expr.ref.address(point)
+        return int(mem[expr.ref.array.name][coords])
+    if isinstance(expr, BinOp):
+        left = _eval(expr.left, point, mem)
+        right = _eval(expr.right, point, mem)
+        return _apply(expr.op, left, right)
+    if isinstance(expr, UnaryOp):
+        operand = _eval(expr.operand, point, mem)
+        return _apply_unary(expr.op, operand)
+    raise SimulationError(f"cannot evaluate expression {expr!r}")
+
+
+def _apply(op: Op, left: int, right: int) -> int:
+    if op is Op.ADD:
+        return left + right
+    if op is Op.SUB:
+        return left - right
+    if op is Op.MUL:
+        return left * right
+    if op is Op.EQ:
+        return int(left == right)
+    if op is Op.NE:
+        return int(left != right)
+    if op is Op.LT:
+        return int(left < right)
+    if op is Op.GT:
+        return int(left > right)
+    if op is Op.AND:
+        return left & right
+    if op is Op.OR:
+        return left | right
+    if op is Op.XOR:
+        return left ^ right
+    if op is Op.SHL:
+        return left << right
+    if op is Op.SHR:
+        return left >> right
+    raise SimulationError(f"binary evaluation of {op} unsupported")
+
+
+def _apply_unary(op: Op, operand: int) -> int:
+    if op is Op.NOT:
+        return ~operand
+    if op is Op.NEG:
+        return -operand
+    raise SimulationError(f"unary evaluation of {op} unsupported")
+
+
+def run_kernel(
+    kernel: Kernel, inputs: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Execute ``kernel`` directly; returns final contents of every array."""
+    mem = {name: np.array(data, dtype=np.int64) for name, data in inputs.items()}
+    for array in kernel.arrays.values():
+        if array.name not in mem:
+            mem[array.name] = np.zeros(array.shape, dtype=np.int64)
+        if mem[array.name].shape != array.shape:
+            raise SimulationError(
+                f"input {array.name} has shape {mem[array.name].shape}, "
+                f"expected {array.shape}"
+            )
+    for point in kernel.nest.iteration_points():
+        for stmt in kernel.nest.body:
+            value = _eval(stmt.expr, point, mem)
+            wrapped = int(stmt.target.array.dtype.wrap(np.int64(value)))
+            mem[stmt.target.array.name][stmt.target.address(point)] = wrapped
+    return mem
+
+
+@dataclass(frozen=True)
+class ScalarReplacedRun:
+    """Outcome of a register-file execution.
+
+    Attributes
+    ----------
+    memory:
+        Final RAM contents (after epilogue flushes).
+    ram_accesses:
+        Group name -> RAM accesses actually performed.
+    register_high_water:
+        Group name -> maximum simultaneously live registers observed.
+    """
+
+    memory: dict[str, np.ndarray]
+    ram_accesses: dict[str, int]
+    register_high_water: dict[str, int]
+
+
+class _RegisterBank:
+    """A capacity-bounded register file for one reference group.
+
+    Enforces the coverage policy physically: ``pinned`` banks only admit
+    covered elements and recycle at region boundaries; ``window`` banks
+    replay the Belady placement trace the coverage model committed to.
+    Exceeding capacity or claiming a hit on an absent value raises — the
+    interpreter is the proof that the coverage masks describe something a
+    real register file can do.
+    """
+
+    def __init__(self, group: RefGroup, coverage, mem: dict[str, np.ndarray]):
+        self.group = group
+        self.coverage = coverage
+        self.mem = mem
+        self.values: "OrderedDict[tuple[int, ...], int]" = OrderedDict()
+        self.dirty: set[tuple[int, ...]] = set()
+        self.region_key: "tuple[int, ...] | None" = None
+        self.high_water = 0
+        self.ram_accesses = 0
+        self.position = 0  # flattened access position (window replay)
+
+    def _capacity(self) -> int:
+        return max(1, self.coverage.covered)
+
+    def enter_iteration(self, point: dict[str, int], loop_vars) -> None:
+        level = self.coverage.region_level
+        if level is None:
+            return
+        key = tuple(point[v] for v in loop_vars[: level - 1])
+        if key != self.region_key:
+            self.flush()
+            self.region_key = key
+
+    def flush(self) -> None:
+        """Write back dirty values and recycle the bank (region boundary)."""
+        for address in sorted(self.dirty):
+            self.mem[self.group.ref.array.name][address] = self.values[address]
+            self.ram_accesses += 1
+        self.dirty.clear()
+        self.values.clear()
+
+    def window_step(self, address: tuple[int, ...], value: int) -> None:
+        """Replay one Belady placement decision after a window read miss."""
+        pos = self.position
+        if self.coverage.window_evicted is not None:
+            victim_flat = int(self.coverage.window_evicted[pos])
+            if victim_flat >= 0:
+                victim = tuple(
+                    np.unravel_index(victim_flat, self.group.ref.array.shape)
+                )
+                self.values.pop(victim, None)
+        if (
+            self.coverage.window_inserted is not None
+            and bool(self.coverage.window_inserted[pos])
+        ):
+            self.values[address] = value
+        if len(self.values) > self._capacity():
+            raise SimulationError(
+                f"window bank for {self.group.name} exceeded its capacity "
+                f"of {self._capacity()}"
+            )
+        self.high_water = max(self.high_water, len(self.values))
+
+    def insert(self, address: tuple[int, ...], value: int, dirty: bool) -> None:
+        if address not in self.values and len(self.values) >= self._capacity():
+            raise SimulationError(
+                f"register bank for {self.group.name} exceeded its "
+                f"capacity of {self._capacity()}"
+            )
+        self.values[address] = value
+        if dirty:
+            self.dirty.add(address)
+        self.high_water = max(self.high_water, len(self.values))
+
+    def lookup(self, address: tuple[int, ...]):
+        if address in self.values:
+            return self.values[address]
+        return None
+
+
+def run_scalar_replaced(
+    kernel: Kernel,
+    groups: tuple[RefGroup, ...],
+    allocation: Allocation,
+    inputs: dict[str, np.ndarray],
+    anchors: "dict[str, str] | None" = None,
+) -> ScalarReplacedRun:
+    """Execute through coverage-driven register files and count RAM traffic.
+
+    Raises :class:`SimulationError` if a claimed register hit does not find
+    its value, or if a policy would need more registers than its capacity —
+    i.e. if the coverage model ever promises more than a real register file
+    could deliver.
+    """
+    mem = {name: np.array(data, dtype=np.int64) for name, data in inputs.items()}
+    for array in kernel.arrays.values():
+        mem.setdefault(array.name, np.zeros(array.shape, dtype=np.int64))
+
+    anchors = anchors or {}
+    group_of_ref: dict[ArrayRef, RefGroup] = {g.ref: g for g in groups}
+    banks: dict[str, _RegisterBank] = {}
+    coverage = {}
+    for group in groups:
+        coverage[group.name] = GroupCoverage(kernel, group).result(
+            allocation.registers_for(group.name),
+            anchor=anchors.get(group.name, "low"),
+        )
+        banks[group.name] = _RegisterBank(group, coverage[group.name], mem)
+    forwarded_values: dict[ArrayRef, int] = {}
+    loop_vars = kernel.loop_vars
+
+    flat_index = 0
+    shape = kernel.nest.trip_counts()
+    for point in kernel.nest.iteration_points():
+        idx = np.unravel_index(flat_index, shape)
+        flat_index += 1
+        forwarded_values.clear()
+        for bank in banks.values():
+            bank.enter_iteration(point, loop_vars)
+            bank.position = flat_index - 1
+        for stmt in kernel.nest.body:
+            value = _eval_replaced(
+                stmt.expr, point, mem, group_of_ref, coverage, banks,
+                forwarded_values, idx,
+            )
+            wrapped = int(stmt.target.array.dtype.wrap(np.int64(value)))
+            group = group_of_ref[stmt.target]
+            address = stmt.target.address(point)
+            forwarded_values[stmt.target] = wrapped
+            bank = banks[group.name]
+            if bool(coverage[group.name].write_miss[idx]):
+                mem[stmt.target.array.name][address] = wrapped
+                bank.ram_accesses += 1
+            else:
+                bank.insert(address, wrapped, dirty=True)
+
+    for bank in banks.values():
+        bank.flush()
+
+    return ScalarReplacedRun(
+        memory=mem,
+        ram_accesses={name: bank.ram_accesses for name, bank in banks.items()},
+        register_high_water={
+            name: bank.high_water for name, bank in banks.items()
+        },
+    )
+
+
+def _eval_replaced(
+    expr: Expr,
+    point: dict[str, int],
+    mem: dict[str, np.ndarray],
+    group_of_ref: dict[ArrayRef, RefGroup],
+    coverage: dict,
+    banks: dict,
+    forwarded_values: dict,
+    idx: tuple,
+) -> int:
+    if isinstance(expr, Load):
+        ref = expr.ref
+        group = group_of_ref[ref]
+        if ref in forwarded_values:
+            return forwarded_values[ref]
+        address = ref.address(point)
+        bank = banks[group.name]
+        result = coverage[group.name]
+        if bool(result.read_miss[idx]):
+            value = int(mem[ref.array.name][address])
+            bank.ram_accesses += 1
+            if result.kind == "window":
+                bank.window_step(address, value)
+            elif result.retain is not None and bool(result.retain[idx]):
+                bank.insert(address, value, dirty=False)
+            forwarded_values[ref] = value
+            return value
+        value = bank.lookup(address)
+        if value is None:
+            raise SimulationError(
+                f"coverage model claimed a register hit for {ref} at "
+                f"iteration {dict(point)} but no register holds it"
+            )
+        if (
+            result.kind == "window"
+            and result.window_freed is not None
+            and bool(result.window_freed[bank.position])
+        ):
+            bank.values.pop(address, None)
+        forwarded_values[ref] = value
+        return value
+    if isinstance(expr, Const):
+        return int(expr.value)
+    if isinstance(expr, IndexValue):
+        return int(point[expr.var])
+    if isinstance(expr, BinOp):
+        left = _eval_replaced(
+            expr.left, point, mem, group_of_ref, coverage, banks,
+            forwarded_values, idx,
+        )
+        right = _eval_replaced(
+            expr.right, point, mem, group_of_ref, coverage, banks,
+            forwarded_values, idx,
+        )
+        return _apply(expr.op, left, right)
+    if isinstance(expr, UnaryOp):
+        operand = _eval_replaced(
+            expr.operand, point, mem, group_of_ref, coverage, banks,
+            forwarded_values, idx,
+        )
+        return _apply_unary(expr.op, operand)
+    raise SimulationError(f"cannot evaluate expression {expr!r}")

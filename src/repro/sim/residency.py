@@ -1,0 +1,172 @@
+"""Register-residency simulators: ground truth for coverage policies.
+
+A scalar-replaced reference with ``r`` registers behaves like a tiny
+per-reference cache of capacity ``r`` in front of its RAM block.  Which
+elements are resident is a *policy* choice made by the compiler:
+
+* ``pinned`` — dedicate registers to a fixed prefix of the footprint
+  (what the paper's partial allocations do: ``beta_d = 12`` keeps
+  ``d[i][0..11]`` in registers).  Optimal for cyclic sweeps, where LRU
+  degenerates.
+* ``lru`` — keep the most recently used elements (what a rotating-register
+  window does for sliding references like FIR's ``x[i+j]``).
+* ``opt`` — Belady's clairvoyant policy; an upper bound used by the
+  residency ablation benchmark.
+
+These simulators process a reference's concrete address stream and return
+per-access miss flags.  They are deliberately straightforward (dict/heap
+based, O(stream) or O(stream log r)) — they are the *oracle* the analytic
+coverage masks in :mod:`repro.scalar.coverage` are tested against, so
+clarity beats speed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["lru_misses", "pinned_misses", "opt_misses", "opt_trace", "miss_count"]
+
+
+def lru_misses(stream: np.ndarray, capacity: int) -> np.ndarray:
+    """Boolean miss flags of an LRU register file over an address stream."""
+    if capacity < 0:
+        raise SimulationError(f"capacity must be >= 0, got {capacity}")
+    misses = np.ones(len(stream), dtype=bool)
+    if capacity == 0:
+        return misses
+    resident: OrderedDict[int, None] = OrderedDict()
+    for position, address in enumerate(stream.tolist()):
+        if address in resident:
+            resident.move_to_end(address)
+            misses[position] = False
+        else:
+            resident[address] = None
+            if len(resident) > capacity:
+                resident.popitem(last=False)
+    return misses
+
+
+def pinned_misses(
+    stream: np.ndarray, pinned: "set[int] | frozenset[int]"
+) -> np.ndarray:
+    """Miss flags when a fixed set of addresses is register-resident.
+
+    The first access to a pinned address is still a miss (the value must be
+    fetched once); later accesses hit.  Unpinned addresses always miss.
+    """
+    misses = np.ones(len(stream), dtype=bool)
+    touched: set[int] = set()
+    for position, address in enumerate(stream.tolist()):
+        if address in pinned:
+            if address in touched:
+                misses[position] = False
+            else:
+                touched.add(address)
+    return misses
+
+
+def opt_misses(stream: np.ndarray, capacity: int) -> np.ndarray:
+    """Miss flags under Belady's optimal (furthest-next-use) replacement.
+
+    Used only by the residency ablation; gives the lower bound on misses
+    any static or dynamic policy with ``capacity`` registers can reach.
+    """
+    if capacity < 0:
+        raise SimulationError(f"capacity must be >= 0, got {capacity}")
+    n = len(stream)
+    misses = np.ones(n, dtype=bool)
+    if capacity == 0:
+        return misses
+    addresses = stream.tolist()
+    # next_use[i] = next position accessing the same address, or +inf.
+    next_use = [float("inf")] * n
+    last_seen: dict[int, int] = {}
+    for position in range(n - 1, -1, -1):
+        address = addresses[position]
+        next_use[position] = last_seen.get(address, float("inf"))
+        last_seen[address] = position
+    resident: dict[int, float] = {}  # address -> its next use position
+    for position, address in enumerate(addresses):
+        if address in resident:
+            misses[position] = False
+        else:
+            if len(resident) >= capacity:
+                victim = max(resident, key=lambda a: resident[a])
+                del resident[victim]
+        resident[address] = next_use[position]
+    return misses
+
+
+def opt_trace(
+    stream: np.ndarray, capacity: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Belady with bypass, returning the full placement trace.
+
+    This is the policy a *compiler-managed* rotating register file
+    implements: the access stream is fully known at compile time, so on a
+    miss the compiler only installs the value if its next use comes sooner
+    than some resident value's (otherwise it bypasses the register file —
+    crucial for strided windows, where LRU would evict the whole reusable
+    window with dead values).
+
+    Returns ``(misses, inserted, evicted, freed)`` per access position:
+    ``misses[i]`` — RAM access needed; ``inserted[i]`` — the fetched value
+    is placed in a register; ``evicted[i]`` — address evicted to make room
+    (-1 if none); ``freed[i]`` — this hit was the value's last use and its
+    register is released.  The trace lets the functional interpreter
+    replay the exact placement decisions.
+    """
+    if capacity < 0:
+        raise SimulationError(f"capacity must be >= 0, got {capacity}")
+    n = len(stream)
+    misses = np.ones(n, dtype=bool)
+    inserted = np.zeros(n, dtype=bool)
+    evicted = np.full(n, -1, dtype=np.int64)
+    freed = np.zeros(n, dtype=bool)
+    if capacity == 0:
+        return misses, inserted, evicted, freed
+    addresses = stream.tolist()
+    INF = float("inf")
+    next_use = [INF] * n
+    last_seen: dict[int, int] = {}
+    for position in range(n - 1, -1, -1):
+        address = addresses[position]
+        next_use[position] = last_seen.get(address, INF)
+        last_seen[address] = position
+    resident: dict[int, float] = {}  # address -> next use position
+    for position, address in enumerate(addresses):
+        mine = next_use[position]
+        if address in resident:
+            misses[position] = False
+            resident[address] = mine
+            if mine == INF:
+                del resident[address]  # last use: free the register
+                freed[position] = True
+            continue
+        if mine == INF:
+            continue  # never used again: bypass
+        if len(resident) < capacity:
+            resident[address] = mine
+            inserted[position] = True
+            continue
+        victim = max(resident, key=lambda a: resident[a])
+        if resident[victim] > mine:
+            del resident[victim]
+            resident[address] = mine
+            inserted[position] = True
+            evicted[position] = victim
+        # else: bypass (victim is more useful than we are)
+    return misses, inserted, evicted, freed
+
+
+def miss_count(stream: np.ndarray, capacity: int, policy: str = "lru") -> int:
+    """Convenience: total misses of ``policy`` in {'lru', 'opt'}."""
+    if policy == "lru":
+        return int(lru_misses(stream, capacity).sum())
+    if policy == "opt":
+        return int(opt_misses(stream, capacity).sum())
+    raise SimulationError(f"unknown policy {policy!r}")

@@ -1,0 +1,90 @@
+"""Slice-count area estimation.
+
+Companion to :mod:`repro.synth.timing`; same calibration philosophy.
+Charges the four structures a scalar-replaced design instantiates:
+
+* the datapath operators (from the operator library),
+* the data registers themselves (two flip-flops per slice) plus their
+  operand-select multiplexers,
+* the loop FSM (one counter + bound comparator per loop level),
+* partial-coverage decode logic (an index comparator per partial group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.dfg.graph import DataFlowGraph
+from repro.hw.ops import op_spec
+from repro.ir.kernel import Kernel
+
+__all__ = ["AreaEstimate", "estimate_area"]
+
+# Fixed FSM/controller overhead: state register, next-state logic, start/done
+# handshake.  Representative of small Monet-generated controllers.
+_CONTROL_BASE_SLICES = 40
+# Counter + bound comparator per loop level, for a 16-bit index.
+_SLICES_PER_LOOP = 18
+# Index comparator + valid flag per partially covered reference group.
+_SLICES_PER_PARTIAL_GROUP = 10
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """Slice breakdown of one design point."""
+
+    datapath_slices: int
+    register_slices: int
+    mux_slices: int
+    control_slices: int
+
+    @property
+    def total_slices(self) -> int:
+        return (
+            self.datapath_slices
+            + self.register_slices
+            + self.mux_slices
+            + self.control_slices
+        )
+
+
+def estimate_area(
+    kernel: Kernel,
+    dfg: DataFlowGraph,
+    register_bits: dict[str, tuple[int, int]],
+    partial_groups: int,
+) -> AreaEstimate:
+    """Estimate slices for one design point.
+
+    Parameters
+    ----------
+    kernel:
+        The kernel (loop structure sizes the controller).
+    dfg:
+        Body DFG (operators).
+    register_bits:
+        Group name -> (register count, bits per register).
+    partial_groups:
+        Groups with partial coverage.
+    """
+    datapath = sum(op_spec(n.op).slices(n.bits) for n in dfg.ops())
+    registers = 0
+    muxes = 0
+    for count, bits in register_bits.values():
+        registers += ceil(count * bits / 2)
+        if count > 1:
+            # A bits-wide mux selecting one of `count` registers: roughly one
+            # 4:1 mux LUT per 2 bits per mux level batch.
+            muxes += ceil(count * bits / 8)
+    control = (
+        _CONTROL_BASE_SLICES
+        + _SLICES_PER_LOOP * kernel.depth
+        + _SLICES_PER_PARTIAL_GROUP * partial_groups
+    )
+    return AreaEstimate(
+        datapath_slices=datapath,
+        register_slices=registers,
+        mux_slices=muxes,
+        control_slices=control,
+    )

@@ -1,0 +1,82 @@
+"""HardwareDesign: one fully evaluated design point.
+
+Bundles everything Table 1 reports for one (kernel, allocation) pair:
+cycle count, clock period, wall-clock time, slices, RAM blocks — plus the
+intermediate artifacts (coverage, binding, estimates) for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import Allocation
+from repro.hw.binding import StorageBinding
+from repro.sim.cycles import CycleReport
+from repro.synth.area import AreaEstimate
+from repro.synth.timing import TimingEstimate
+
+__all__ = ["HardwareDesign"]
+
+
+@dataclass(frozen=True)
+class HardwareDesign:
+    """A synthesized-and-simulated design point.
+
+    Attributes
+    ----------
+    kernel_name / allocation:
+        What was built.
+    cycles:
+        Cycle-accurate report from the simulator.
+    timing / area:
+        Estimator outputs.
+    binding:
+        Array-to-RAM placement.
+    device_name:
+        Target device.
+    """
+
+    kernel_name: str
+    allocation: Allocation
+    cycles: CycleReport
+    timing: TimingEstimate
+    area: AreaEstimate
+    binding: StorageBinding
+    device_name: str
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cycles.total_cycles
+
+    @property
+    def clock_ns(self) -> float:
+        return self.timing.period_ns
+
+    @property
+    def wall_clock_us(self) -> float:
+        """Execution wall-clock time in microseconds (Table 1 column 7)."""
+        return self.total_cycles * self.clock_ns / 1000.0
+
+    @property
+    def slices(self) -> int:
+        return self.area.total_slices
+
+    @property
+    def ram_blocks(self) -> int:
+        return self.binding.total_blocks
+
+    def speedup_over(self, baseline: "HardwareDesign") -> float:
+        return baseline.wall_clock_us / self.wall_clock_us
+
+    def cycle_reduction_vs(self, baseline: "HardwareDesign") -> float:
+        """Fractional cycle reduction relative to ``baseline`` (positive is
+        better), as Table 1's column 5 percentage."""
+        return 1.0 - self.total_cycles / baseline.total_cycles
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kernel_name}/{self.allocation.algorithm}: "
+            f"{self.total_cycles} cycles @ {self.clock_ns:.1f} ns "
+            f"= {self.wall_clock_us:.1f} us, {self.slices} slices, "
+            f"{self.ram_blocks} RAMs"
+        )

@@ -1,0 +1,204 @@
+"""End-to-end design-point evaluation.
+
+:func:`build_design` is the "synthesis + P&R + simulation" stand-in: it
+takes a kernel and an allocation and produces the fully populated
+:class:`~repro.synth.design.HardwareDesign` that one Table 1 row reports.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.groups import RefGroup, build_groups
+from repro.core.allocation import Allocation
+from repro.dfg.build import build_dfg
+from repro.dfg.latency import LatencyModel
+from repro.dfg.nodes import OpNode, ReadNode
+from repro.hw.binding import bind_arrays
+from repro.hw.device import Device, XCV1000
+from repro.ir.kernel import Kernel
+from repro.scalar.coverage import GroupCoverage
+from repro.sim.cycles import count_cycles
+from repro.synth.area import estimate_area
+from repro.synth.design import HardwareDesign
+from repro.synth.timing import estimate_clock
+
+__all__ = ["build_design", "classify_operand_storage"]
+
+
+def classify_operand_storage(
+    group: RefGroup, coverage: GroupCoverage, registers: int
+) -> str:
+    """Steady-state storage class of a read operand: 'reg', 'ram' or 'both'.
+
+    'both' marks partial coverage — some iterations find the element in a
+    register, others fetch it from RAM — which requires steering logic in
+    front of the consuming operator (the clock-period mechanism the paper
+    observes on Dec-FIR/PAT v2).
+    """
+    covered = coverage.covered(registers)
+    if not group.carries_reuse or covered == 0:
+        return "ram"
+    if covered >= group.full_registers:
+        return "reg"
+    return "both"
+
+
+def build_design(
+    kernel: Kernel,
+    allocation: Allocation,
+    groups: "tuple[RefGroup, ...] | None" = None,
+    device: Device = XCV1000,
+    model: LatencyModel | None = None,
+    ram_ports: int | None = None,
+    overhead_per_iteration: int = 1,
+) -> HardwareDesign:
+    """Evaluate one (kernel, allocation) design point.
+
+    Parameters mirror the experimental setup of the paper: XCV1000 target,
+    single-ported RAM blocks with a two-cycle access (address + data cycle
+    of a synchronous BlockRAM driven by a Monet-style FSM), realistic
+    operator latencies, one FSM cycle of control overhead per iteration.
+    The Figure 2(c) benchmarks override ``model`` with
+    :meth:`LatencyModel.tmem` and zero overhead.
+    """
+    groups = groups if groups is not None else build_groups(kernel)
+    model = model or LatencyModel.realistic(ram_latency=2)
+    ram_ports = ram_ports if ram_ports is not None else device.bram_ports
+    dfg = build_dfg(kernel, groups)
+
+    coverages = {g.name: GroupCoverage(kernel, g) for g in groups}
+    storage_class = {
+        g.name: classify_operand_storage(
+            g, coverages[g.name], allocation.registers_for(g.name)
+        )
+        for g in groups
+    }
+    partial_groups = sum(1 for cls in storage_class.values() if cls == "both")
+    mixed_ops = _count_mixed_operand_ops(dfg, storage_class)
+
+    cycles = _count_with_best_anchors(
+        kernel,
+        groups,
+        allocation,
+        model,
+        ram_ports,
+        overhead_per_iteration,
+        dfg,
+        coverages,
+        storage_class,
+    )
+
+    timing = estimate_clock(
+        dfg,
+        device,
+        total_registers=allocation.total_registers,
+        partial_groups=partial_groups,
+        mixed_operand_ops=mixed_ops,
+    )
+    register_bits = {
+        g.name: (allocation.registers_for(g.name), g.ref.array.dtype.bits)
+        for g in groups
+    }
+    area = estimate_area(kernel, dfg, register_bits, partial_groups)
+
+    ram_resident = _ram_resident_arrays(kernel, groups, storage_class)
+    binding = bind_arrays(kernel, ram_resident, device)
+
+    return HardwareDesign(
+        kernel_name=kernel.name,
+        allocation=allocation,
+        cycles=cycles,
+        timing=timing,
+        area=area,
+        binding=binding,
+        device_name=device.name,
+    )
+
+
+def _count_with_best_anchors(
+    kernel,
+    groups,
+    allocation,
+    model,
+    ram_ports,
+    overhead_per_iteration,
+    dfg,
+    coverages,
+    storage_class,
+):
+    """Coverage-placement pass: choose pinned anchors minimizing cycles.
+
+    Which footprint elements a partial pinned coverage keeps is a code-
+    generation freedom; aligning pinned hits with window hits lets both
+    inputs of an operation come from registers in the same iterations.
+    The search space is tiny (one binary choice per partially covered
+    pinned group), so it is explored exhaustively.
+    """
+    candidates = [
+        g.name
+        for g in groups
+        if storage_class[g.name] == "both"
+        and coverages[g.name].kind == "pinned"
+    ]
+    candidates = candidates[:4]  # 2^4 design points at most
+
+    best = None
+    best_anchors: dict[str, str] = {}
+    for mask in range(1 << len(candidates)):
+        anchors = {
+            name: ("high" if (mask >> bit) & 1 else "low")
+            for bit, name in enumerate(candidates)
+        }
+        report = count_cycles(
+            kernel,
+            groups,
+            allocation,
+            model,
+            ram_ports=ram_ports,
+            overhead_per_iteration=overhead_per_iteration,
+            dfg=dfg,
+            anchors=anchors,
+        )
+        if best is None or report.total_cycles < best.total_cycles:
+            best = report
+            best_anchors = anchors
+    assert best is not None
+    return best
+
+
+def _count_mixed_operand_ops(dfg, storage_class: dict[str, str]) -> int:
+    """Operations whose read operands mix register and RAM residency."""
+    mixed = 0
+    for node in dfg.ops():
+        classes = {
+            storage_class[p.group_name]
+            for p in dfg.predecessors(node)
+            if isinstance(p, ReadNode)
+        }
+        if "both" in classes or ("reg" in classes and "ram" in classes):
+            mixed += 1
+    return mixed
+
+
+def _ram_resident_arrays(
+    kernel: Kernel,
+    groups: tuple[RefGroup, ...],
+    storage_class: dict[str, str],
+) -> frozenset[str]:
+    """Arrays that must occupy a RAM block.
+
+    A read-only input array whose every reference is fully register-
+    resident can be initialized at configuration time (constants in
+    registers) and needs no RAM; anything written, partially covered or
+    uncovered keeps its block.
+    """
+    needs_ram: set[str] = set()
+    for group in groups:
+        fully_registered = (
+            storage_class[group.name] == "reg" and not group.is_written
+        )
+        if not fully_registered:
+            needs_ram.add(group.array_name)
+    for array in kernel.arrays.values():
+        if array.role == "output":
+            needs_ram.add(array.name)
+    return frozenset(needs_ram)

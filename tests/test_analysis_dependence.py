@@ -1,0 +1,49 @@
+"""Tests for dependence distances and reuse classification."""
+
+from repro.analysis.dependence import reuse_kind, self_reuse_distance
+
+
+class TestSelfReuseDistance:
+    def test_invariant_reference(self, example_kernel):
+        a = example_kernel.site_by_id("s0/r:a[k]").ref
+        d = self_reuse_distance(example_kernel.nest, a)
+        assert d is not None
+        assert d.components == (1, 0, 0)
+        assert d.carrying_level == 1
+
+    def test_inner_invariant(self, example_kernel):
+        c = example_kernel.site_by_id("s1/r:c[j]").ref
+        d = self_reuse_distance(example_kernel.nest, c)
+        assert d is not None
+        assert d.carrying_level == 1  # outermost unused loop is i
+
+    def test_window_reference(self, small_fir):
+        x = small_fir.site_by_id("s0/r:x[i + j]").ref
+        d = self_reuse_distance(small_fir.nest, x)
+        assert d is not None
+        assert d.components == (1, -1)
+        assert d.is_lex_positive()
+
+    def test_no_reuse(self, example_kernel):
+        e = example_kernel.site_by_id("s1/w:e[i][j][k]").ref
+        assert self_reuse_distance(example_kernel.nest, e) is None
+
+    def test_strided_window(self):
+        from repro.kernels import build_decfir
+
+        kern = build_decfir(n=8, taps=6, decimation=2)
+        x = [s for s in kern.reference_sites() if s.array_name == "x"][0].ref
+        d = self_reuse_distance(kern.nest, x)
+        assert d is not None
+        assert d.components == (1, -2)
+
+
+class TestReuseKind:
+    def test_kinds(self, example_kernel, small_fir):
+        nest = example_kernel.nest
+        assert reuse_kind(nest, example_kernel.site_by_id("s0/r:a[k]").ref) == "invariant"
+        assert reuse_kind(nest, example_kernel.site_by_id("s1/w:e[i][j][k]").ref) == "none"
+        assert (
+            reuse_kind(small_fir.nest, small_fir.site_by_id("s0/r:x[i + j]").ref)
+            == "window"
+        )

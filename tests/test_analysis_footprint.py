@@ -1,0 +1,100 @@
+"""Tests for exact footprint computation."""
+
+import pytest
+
+from repro.analysis.footprint import (
+    distinct_count,
+    footprint_addresses,
+    footprints_overlap,
+    reference_footprint_table,
+)
+from repro.errors import AnalysisError
+
+
+def site_ref(kernel, site_id):
+    return kernel.site_by_id(site_id).ref
+
+
+class TestDistinctCounts:
+    """Footprints of the running example (Ni=4, Nj=20, Nk=30)."""
+
+    def test_a_full_nest(self, example_kernel):
+        ref = site_ref(example_kernel, "s0/r:a[k]")
+        # a[k] touches Nk elements no matter how many loops sweep.
+        assert distinct_count(example_kernel.nest, ref, 1) == 30
+        assert distinct_count(example_kernel.nest, ref, 2) == 30
+        assert distinct_count(example_kernel.nest, ref, 3) == 30
+        assert distinct_count(example_kernel.nest, ref, 4) == 1
+
+    def test_b_levels(self, example_kernel):
+        ref = site_ref(example_kernel, "s0/r:b[k][j]")
+        assert distinct_count(example_kernel.nest, ref, 1) == 600
+        assert distinct_count(example_kernel.nest, ref, 2) == 600
+        assert distinct_count(example_kernel.nest, ref, 3) == 30  # fixed j
+        assert distinct_count(example_kernel.nest, ref, 4) == 1
+
+    def test_c_levels(self, example_kernel):
+        ref = site_ref(example_kernel, "s1/r:c[j]")
+        assert distinct_count(example_kernel.nest, ref, 1) == 20
+        assert distinct_count(example_kernel.nest, ref, 2) == 20
+        assert distinct_count(example_kernel.nest, ref, 3) == 1
+
+    def test_d_levels(self, example_kernel):
+        ref = site_ref(example_kernel, "s0/w:d[i][k]")
+        assert distinct_count(example_kernel.nest, ref, 1) == 120  # Ni*Nk
+        assert distinct_count(example_kernel.nest, ref, 2) == 30
+        assert distinct_count(example_kernel.nest, ref, 3) == 30
+
+    def test_e_no_reuse(self, example_kernel):
+        ref = site_ref(example_kernel, "s1/w:e[i][j][k]")
+        assert distinct_count(example_kernel.nest, ref, 1) == 2400
+
+    def test_footprint_table(self, example_kernel):
+        ref = site_ref(example_kernel, "s1/r:c[j]")
+        table = reference_footprint_table(example_kernel, ref)
+        assert table == {1: 20, 2: 20, 3: 1, 4: 1}
+
+    def test_bad_level(self, example_kernel):
+        ref = site_ref(example_kernel, "s1/r:c[j]")
+        with pytest.raises(AnalysisError):
+            distinct_count(example_kernel.nest, ref, 0)
+        with pytest.raises(AnalysisError):
+            distinct_count(example_kernel.nest, ref, 5)
+
+
+class TestWindowFootprints:
+    def test_fir_window(self, small_fir):
+        x_ref = small_fir.site_by_id("s0/r:x[i + j]").ref
+        # distinct over whole nest = n + taps - 1 = 11
+        assert distinct_count(small_fir.nest, x_ref, 1) == 11
+        # distinct over inner loop only = taps = 4
+        assert distinct_count(small_fir.nest, x_ref, 2) == 4
+
+
+class TestOverlap:
+    def test_invariance_overlaps(self, example_kernel):
+        a = site_ref(example_kernel, "s0/r:a[k]")
+        assert footprints_overlap(example_kernel.nest, a, 1)  # across i
+        assert footprints_overlap(example_kernel.nest, a, 2)  # across j
+        assert not footprints_overlap(example_kernel.nest, a, 3)  # k varies
+
+    def test_disjoint_footprints(self, example_kernel):
+        c = site_ref(example_kernel, "s1/r:c[j]")
+        assert footprints_overlap(example_kernel.nest, c, 1)
+        assert not footprints_overlap(example_kernel.nest, c, 2)
+        assert footprints_overlap(example_kernel.nest, c, 3)
+
+    def test_sliding_window_overlaps(self, small_fir):
+        x = small_fir.site_by_id("s0/r:x[i + j]").ref
+        assert footprints_overlap(small_fir.nest, x, 1)
+        assert not footprints_overlap(small_fir.nest, x, 2)
+
+    def test_no_reuse_reference(self, example_kernel):
+        e = site_ref(example_kernel, "s1/w:e[i][j][k]")
+        for level in (1, 2, 3):
+            assert not footprints_overlap(example_kernel.nest, e, level)
+
+    def test_addresses_sorted_unique(self, example_kernel):
+        a = site_ref(example_kernel, "s0/r:a[k]")
+        addrs = footprint_addresses(example_kernel.nest, a, 1)
+        assert list(addrs) == sorted(set(addrs.tolist()))

@@ -1,0 +1,166 @@
+"""Tests for reuse analysis, access profiles and grouping."""
+
+import pytest
+from fractions import Fraction
+
+from repro.analysis import (
+    AccessProfile,
+    ProfilePoint,
+    analyze_site,
+    build_groups,
+    forwarded_read_sites,
+    pareto_points,
+    rank_candidates,
+)
+from repro.errors import AnalysisError
+
+
+class TestSiteReuse:
+    def test_example_betas(self, example_kernel):
+        expected = {
+            "s0/r:a[k]": 30,
+            "s0/r:b[k][j]": 600,
+            "s1/r:c[j]": 20,
+            "s0/w:d[i][k]": 30,
+            "s1/w:e[i][j][k]": 1,
+        }
+        for site_id, beta in expected.items():
+            reuse = analyze_site(example_kernel, example_kernel.site_by_id(site_id))
+            assert reuse.full_registers == beta, site_id
+
+    def test_carrying_levels(self, example_kernel):
+        a = analyze_site(example_kernel, example_kernel.site_by_id("s0/r:a[k]"))
+        assert a.carrying_levels == (1, 2)
+        e = analyze_site(example_kernel, example_kernel.site_by_id("s1/w:e[i][j][k]"))
+        assert e.carrying_levels == ()
+
+    def test_full_accesses(self, example_kernel):
+        a = analyze_site(example_kernel, example_kernel.site_by_id("s0/r:a[k]"))
+        assert a.profile.full_accesses == 30
+        d = analyze_site(example_kernel, example_kernel.site_by_id("s0/w:d[i][k]"))
+        assert d.profile.full_accesses == 4 * 30
+
+    def test_fir_window_site(self, small_fir):
+        x = analyze_site(small_fir, small_fir.site_by_id("s0/r:x[i + j]"))
+        assert x.full_registers == 4  # taps
+        assert x.profile.full_accesses == 11  # n + taps - 1
+
+    def test_accumulator_site(self, small_fir):
+        y_read = analyze_site(small_fir, small_fir.site_by_id("s0/r:y[i]"))
+        assert y_read.full_registers == 1
+        # full reuse: one load per i iteration
+        assert y_read.profile.full_accesses == 8
+
+
+class TestAccessProfile:
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            AccessProfile(())
+
+    def test_must_start_at_one_register(self):
+        with pytest.raises(AnalysisError):
+            AccessProfile((ProfilePoint(2, 10, 1),))
+
+    def test_rejects_non_pareto(self):
+        points = (ProfilePoint(1, 100, 3), ProfilePoint(5, 100, 1))
+        with pytest.raises(AnalysisError):
+            AccessProfile(points)
+
+    def test_interpolation_endpoints(self):
+        prof = AccessProfile((ProfilePoint(1, 100, 3), ProfilePoint(11, 10, 1)))
+        assert prof.accesses(1) == 100
+        assert prof.accesses(11) == 10
+        assert prof.accesses(50) == 10
+
+    def test_interpolation_midpoint(self):
+        prof = AccessProfile((ProfilePoint(1, 100, 3), ProfilePoint(11, 10, 1)))
+        assert prof.accesses(6) == 100 - (90 * 5) // 10
+
+    def test_monotone_nonincreasing(self):
+        prof = AccessProfile((ProfilePoint(1, 100, 3), ProfilePoint(11, 10, 1)))
+        values = [prof.accesses(r) for r in range(1, 15)]
+        assert values == sorted(values, reverse=True)
+
+    def test_saved_and_benefit_cost(self):
+        prof = AccessProfile((ProfilePoint(1, 100, 3), ProfilePoint(11, 10, 1)))
+        assert prof.full_saved == 90
+        assert prof.benefit_cost() == Fraction(90, 11)
+
+    def test_pareto_points_dedup(self):
+        raw = [
+            ProfilePoint(1, 100, 3),
+            ProfilePoint(1, 80, 2),
+            ProfilePoint(5, 80, 1),
+            ProfilePoint(10, 20, 1),
+        ]
+        frontier = pareto_points(raw)
+        assert [(p.registers, p.accesses) for p in frontier] == [(1, 80), (10, 20)]
+
+    def test_invalid_registers(self):
+        prof = AccessProfile((ProfilePoint(1, 100, 3),))
+        with pytest.raises(AnalysisError):
+            prof.accesses(0)
+
+
+class TestGroups:
+    def test_group_count_and_names(self, example_kernel):
+        groups = build_groups(example_kernel)
+        assert [g.name for g in groups] == [
+            "a[k]", "b[k][j]", "d[i][k]", "c[j]", "e[i][j][k]",
+        ]
+
+    def test_forwarded_read(self, example_kernel):
+        forwarded = forwarded_read_sites(example_kernel)
+        assert forwarded == {"s1/r:d[i][k]"}
+
+    def test_d_group_merges_write_and_read(self, example_kernel):
+        groups = {g.name: g for g in build_groups(example_kernel)}
+        d = groups["d[i][k]"]
+        assert len(d.sites) == 2
+        assert d.forwarded == {"s1/r:d[i][k]"}
+        # Only the write contributes accesses: baseline = iteration count.
+        assert d.profile.baseline_accesses == 2400
+
+    def test_paper_mode_baselines_are_naive(self, example_kernel):
+        groups = {g.name: g for g in build_groups(example_kernel)}
+        # c[j] baseline must be one access per iteration (2400), not the
+        # multilevel free-innermost value (80).
+        assert groups["c[j]"].profile.baseline_accesses == 2400
+
+    def test_multilevel_mode_keeps_intermediate_points(self, example_kernel):
+        groups = {g.name: g for g in build_groups(example_kernel, multilevel=True)}
+        assert groups["c[j]"].profile.baseline_accesses == 80
+
+    def test_carries_vs_has_reuse(self, small_fir):
+        groups = {g.name: g for g in build_groups(small_fir)}
+        y = groups["y[i]"]
+        assert y.carries_reuse
+        assert not y.has_reuse  # full reuse is free at one register
+        e_like = groups["x[i + j]"]
+        assert e_like.has_reuse and e_like.carries_reuse
+
+    def test_accumulator_group_profile(self, small_fir):
+        groups = {g.name: g for g in build_groups(small_fir)}
+        y = groups["y[i]"]
+        # read once + write once per outer iteration at full reuse
+        assert y.profile.full_accesses == 16
+
+
+class TestRanking:
+    def test_example_order_matches_paper(self, example_kernel):
+        ranked = rank_candidates(build_groups(example_kernel))
+        names = [m.group.name for m in ranked]
+        # Paper section 4: c first (B/C=119), then a (79), d (76), b (3).
+        assert names == ["c[j]", "a[k]", "d[i][k]", "b[k][j]"]
+
+    def test_no_reuse_groups_excluded(self, example_kernel):
+        ranked = rank_candidates(build_groups(example_kernel))
+        assert all(m.group.name != "e[i][j][k]" for m in ranked)
+
+    def test_ratios(self, example_kernel):
+        ranked = rank_candidates(build_groups(example_kernel))
+        by_name = {m.group.name: m for m in ranked}
+        assert by_name["c[j]"].ratio == Fraction(2380, 20)
+        assert by_name["a[k]"].ratio == Fraction(2370, 30)
+        assert by_name["d[i][k]"].ratio == Fraction(2280, 30)
+        assert by_name["b[k][j]"].ratio == Fraction(1800, 600)

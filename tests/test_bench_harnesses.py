@@ -1,0 +1,91 @@
+"""Tests for the bench package itself (harnesses, formatting, aggregates)."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_TMEM,
+    budget_sweep,
+    figure2_report,
+    generate_table1,
+    latency_sweep,
+    render_table,
+    render_table1,
+    residency_study,
+)
+from repro.kernels import build_fir, build_mat
+
+
+class TestFormatting:
+    def test_alignment(self):
+        text = render_table(["A", "Bee"], [[1, 2.5], [333, "x"]], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "333" in lines[4]
+        assert "2.5" in lines[3]
+
+    def test_empty_rows(self):
+        text = render_table(["A"], [])
+        assert "A" in text
+
+
+class TestTable1Harness:
+    @pytest.fixture(scope="class")
+    def table(self):
+        # Small kernels keep this test fast while exercising the full path.
+        return generate_table1(
+            budget=16, kernels=[build_fir(n=32, taps=8), build_mat(n=6)]
+        )
+
+    def test_rows_per_kernel(self, table):
+        assert len(table.rows) == 6  # 2 kernels x 3 versions
+        assert len(table.rows_for("fir")) == 3
+
+    def test_v1_is_reference(self, table):
+        for row in table.rows:
+            if row.version == "v1":
+                assert row.cycle_reduction_pct == 0.0
+                assert row.speedup == 1.0
+
+    def test_aggregates_present(self, table):
+        assert set(table.avg_cycle_reduction) == {"v2", "v3"}
+        assert set(table.avg_wall_clock_gain) == {"v2", "v3"}
+
+    def test_render_contains_all_kernels(self, table):
+        text = render_table1(table)
+        assert "fir" in text and "mat" in text
+        assert "Aggregates:" in text
+
+    def test_occupancy_fraction(self, table):
+        for row in table.rows:
+            assert 0 < row.occupancy_pct < 100
+
+
+class TestFigure2Harness:
+    def test_paper_constants(self):
+        assert PAPER_TMEM == {"FR-RA": 1800, "PR-RA": 1560, "CPA-RA": 1184}
+
+    def test_report_budget_override(self):
+        report = figure2_report(budget=32)
+        by = {r.algorithm: r for r in report.rows}
+        assert by["FR-RA"].total_registers <= 32
+
+
+class TestSweepHarnesses:
+    def test_budget_sweep_points(self):
+        points = budget_sweep(build_fir(n=32, taps=8), [4, 8],
+                              algorithms=("FR-RA", "CPA-RA"))
+        assert len(points) == 4
+        assert {p.algorithm for p in points} == {"FR-RA", "CPA-RA"}
+
+    def test_latency_sweep_keys(self):
+        table = latency_sweep(build_fir(n=32, taps=8), [1, 2], budget=8)
+        assert set(table) == {1, 2}
+        assert set(table[1]) == {"FR-RA", "PR-RA", "CPA-RA"}
+
+    def test_residency_study_skips_no_reuse(self):
+        points = residency_study(build_fir(n=16, taps=4))
+        groups = {p.group for p in points}
+        assert "y[i]" in groups  # accumulator carries reuse
+        # every studied group has capacities within beta
+        for p in points:
+            assert p.capacity >= 1

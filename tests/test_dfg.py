@@ -1,0 +1,144 @@
+"""Tests for DFG construction, critical graphs and cut enumeration."""
+
+import pytest
+
+from repro.analysis import build_groups
+from repro.dfg import (
+    LatencyModel,
+    ReadNode,
+    WriteNode,
+    build_dfg,
+    critical_graph,
+    enumerate_cuts,
+    to_dot,
+)
+from repro.errors import AnalysisError
+from repro.ir import Op
+
+
+class TestBuild:
+    def test_example_structure(self, example_kernel):
+        dfg = build_dfg(example_kernel)
+        # Figure 2(a): 4 reads minus forwarded d = 3 reads, 2 ops, 2 writes.
+        assert len(dfg.reads()) == 3
+        assert len(dfg.writes()) == 2
+        assert len(dfg.ops()) == 2
+
+    def test_forwarded_read_routes_through_write(self, example_kernel):
+        dfg = build_dfg(example_kernel)
+        d_write = next(n for n in dfg.writes() if n.site.array_name == "d")
+        succs = dfg.successors(d_write)
+        assert len(succs) == 1
+        assert succs[0].op is Op.MUL  # op2 consumes d's value
+
+    def test_sources_are_reads(self, example_kernel):
+        dfg = build_dfg(example_kernel)
+        assert all(isinstance(n, ReadNode) for n in dfg.sources())
+
+    def test_topological_is_complete(self, example_kernel):
+        dfg = build_dfg(example_kernel)
+        order = dfg.topological()
+        assert len(order) == len(dfg)
+        position = {n.uid: idx for idx, n in enumerate(order)}
+        for node in dfg:
+            for succ in dfg.successors(node):
+                assert position[node.uid] < position[succ.uid]
+
+    def test_fir_accumulator_graph(self, small_fir):
+        dfg = build_dfg(small_fir)
+        # reads: y, c, x; ops: mul, add; writes: y
+        assert len(dfg.reads()) == 3
+        assert len(dfg.ops()) == 2
+        assert len(dfg.writes()) == 1
+
+    def test_to_dot_contains_nodes(self, example_kernel):
+        dfg = build_dfg(example_kernel)
+        dot = to_dot(dfg)
+        assert "read a[k]" in dot
+        assert "digraph" in dot
+
+
+class TestLatencyModel:
+    def test_tmem_model(self, example_kernel):
+        model = LatencyModel.tmem()
+        dfg = build_dfg(example_kernel)
+        read = dfg.reads()[0]
+        assert model.node_latency(read, hit=False) == 1
+        assert model.node_latency(read, hit=True) == 0
+        assert model.node_latency(dfg.ops()[0], hit=False) == 0
+
+    def test_realistic_model(self, example_kernel):
+        model = LatencyModel.realistic()
+        dfg = build_dfg(example_kernel)
+        assert model.node_latency(dfg.ops()[0], hit=False) == 2  # MUL
+
+    def test_invalid_latencies(self):
+        with pytest.raises(AnalysisError):
+            LatencyModel(op_latency={}, ram_latency=0)
+        with pytest.raises(AnalysisError):
+            LatencyModel(op_latency={}, ram_latency=1, reg_latency=2)
+
+
+class TestCriticalGraph:
+    def test_example_cg_excludes_c(self, example_kernel):
+        dfg = build_dfg(example_kernel)
+        cg = critical_graph(dfg, LatencyModel.tmem())
+        names = {str(n) for n in cg.nodes}
+        assert "read c[j]" not in names
+        assert "read a[k]" in names
+        assert "write d[i][k]" in names
+        assert cg.makespan == 3  # three RAM accesses on the serial chain
+
+    def test_cg_shrinks_with_hits(self, example_kernel):
+        dfg = build_dfg(example_kernel)
+        cg = critical_graph(
+            dfg, LatencyModel.realistic(), hits={"d[i][k]": True}
+        )
+        # d covered: path a -> op1 -> d(0) -> op2 -> e still longest.
+        assert cg.makespan == 1 + 2 + 0 + 2 + 1
+
+    def test_groups_on_paths(self, example_kernel):
+        dfg = build_dfg(example_kernel)
+        cg = critical_graph(dfg, LatencyModel.tmem())
+        sets = cg.groups_on_paths()
+        assert frozenset({"a[k]", "d[i][k]", "e[i][j][k]"}) in sets
+        assert frozenset({"b[k][j]", "d[i][k]", "e[i][j][k]"}) in sets
+
+
+class TestCuts:
+    def test_structural_cuts_match_figure2b(self, example_kernel):
+        dfg = build_dfg(example_kernel)
+        cg = critical_graph(dfg, LatencyModel.tmem())
+        cuts = enumerate_cuts(cg, removable=lambda _: True)
+        cut_sets = {c.groups for c in cuts}
+        assert cut_sets == {
+            frozenset({"d[i][k]"}),
+            frozenset({"e[i][j][k]"}),
+            frozenset({"a[k]", "b[k][j]"}),
+        }
+
+    def test_viable_cuts_exclude_no_reuse(self, example_kernel):
+        groups = {g.name: g for g in build_groups(example_kernel)}
+        dfg = build_dfg(example_kernel)
+        cg = critical_graph(dfg, LatencyModel.tmem())
+        cuts = enumerate_cuts(cg, removable=lambda n: groups[n].has_reuse)
+        cut_sets = {c.groups for c in cuts}
+        assert cut_sets == {
+            frozenset({"d[i][k]"}),
+            frozenset({"a[k]", "b[k][j]"}),
+        }
+
+    def test_no_cut_when_path_pinned(self, example_kernel):
+        dfg = build_dfg(example_kernel)
+        cg = critical_graph(dfg, LatencyModel.tmem())
+        # Nothing removable: every path contains an unremovable node.
+        assert enumerate_cuts(cg, removable=lambda _: False) == []
+
+    def test_cuts_are_minimal(self, example_kernel):
+        dfg = build_dfg(example_kernel)
+        cg = critical_graph(dfg, LatencyModel.tmem())
+        cuts = enumerate_cuts(cg, removable=lambda _: True)
+        sets = [c.groups for c in cuts]
+        for cut in sets:
+            for other in sets:
+                assert not (other < cut)

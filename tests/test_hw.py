@@ -1,0 +1,116 @@
+"""Tests for the hardware models: devices, RAM, registers, operators, binding."""
+
+import pytest
+
+from repro.analysis import build_groups
+from repro.errors import BindingError, SynthesisError
+from repro.hw import (
+    OP_LIBRARY,
+    RamSpec,
+    RegisterFile,
+    XCV300,
+    XCV1000,
+    bind_arrays,
+    blocks_needed,
+    default_op_latencies,
+    op_spec,
+)
+from repro.ir import Op
+
+
+class TestDevice:
+    def test_xcv1000_matches_paper(self):
+        assert XCV1000.slices == 12288  # Table 1's occupancy denominator
+        assert XCV1000.bram_blocks == 32
+
+    def test_occupancy(self):
+        assert XCV1000.occupancy(1228.8) == pytest.approx(0.1)
+
+    def test_register_bits(self):
+        assert XCV1000.register_bits == 2 * 12288
+
+    def test_invalid_device(self):
+        from repro.hw.device import Device
+
+        with pytest.raises(SynthesisError):
+            Device("bad", slices=0, bram_blocks=4)
+        with pytest.raises(SynthesisError):
+            Device("bad", slices=10, bram_blocks=4, bram_ports=3)
+
+
+class TestOps:
+    def test_library_covers_every_op(self):
+        for op in Op:
+            assert op_spec(op) is not None
+
+    def test_mul_slower_and_bigger_than_add(self):
+        mul, add = OP_LIBRARY[Op.MUL], OP_LIBRARY[Op.ADD]
+        assert mul.latency >= add.latency
+        assert mul.slices(16) > add.slices(16)
+        assert mul.delay_ns(16) > add.delay_ns(16)
+
+    def test_width_scaling(self):
+        add = OP_LIBRARY[Op.ADD]
+        assert add.slices(32) > add.slices(8)
+        assert add.delay_ns(32) > add.delay_ns(8)
+
+    def test_default_latencies(self):
+        lat = default_op_latencies()
+        assert lat[Op.MUL] == 2
+        assert lat[Op.ADD] == 1
+
+
+class TestRam:
+    def test_blocks_needed(self):
+        from repro.ir import Array, INT16
+
+        small = Array("s", (64,), INT16)  # 1 kbit
+        assert blocks_needed(small, RamSpec(kbits=4)) == 1
+        big = Array("b", (1024,), INT16)  # 16 kbit
+        assert blocks_needed(big, RamSpec(kbits=4)) == 4
+
+    def test_invalid_spec(self):
+        with pytest.raises(BindingError):
+            RamSpec(kbits=0)
+        with pytest.raises(BindingError):
+            RamSpec(ports=3)
+        with pytest.raises(BindingError):
+            RamSpec(latency=0)
+
+
+class TestRegisterFile:
+    def test_slices(self):
+        assert RegisterFile(64, 16).flipflops == 1024
+        assert RegisterFile(64, 16).slices == 512
+
+    def test_fits(self):
+        assert RegisterFile(64, 16).fits(XCV1000)
+        assert not RegisterFile(20000, 16).fits(XCV300)
+
+    def test_invalid(self):
+        with pytest.raises(SynthesisError):
+            RegisterFile(-1, 8)
+        with pytest.raises(SynthesisError):
+            RegisterFile(4, 0)
+
+
+class TestBinding:
+    def test_all_arrays_bound_when_ram_resident(self, example_kernel):
+        names = frozenset(example_kernel.arrays)
+        binding = bind_arrays(example_kernel, names, XCV1000)
+        assert binding.ram_arrays == names
+        assert binding.total_blocks >= len(names)
+
+    def test_outputs_always_bound(self, example_kernel):
+        binding = bind_arrays(example_kernel, frozenset(), XCV1000)
+        assert "e" in binding.ram_arrays
+        assert "a" not in binding.ram_arrays
+
+    def test_budget_exceeded(self, example_kernel):
+        from repro.hw.device import Device
+
+        tiny = Device("tiny", slices=100, bram_blocks=1)
+        with pytest.raises(BindingError):
+            bind_arrays(
+                example_kernel, frozenset(example_kernel.arrays), tiny
+            )

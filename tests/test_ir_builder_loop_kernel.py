@@ -1,0 +1,209 @@
+"""Tests for the builder, loop nests and kernel reference enumeration."""
+
+import pytest
+
+from repro.errors import IRError, ValidationError
+from repro.ir import (
+    INT16,
+    INT32,
+    Kernel,
+    KernelBuilder,
+    Loop,
+    LoopNest,
+    pretty,
+    validate_kernel,
+)
+
+
+def build_demo(n=4, m=3):
+    b = KernelBuilder("demo")
+    i = b.loop("i", n)
+    j = b.loop("j", m)
+    x = b.array("x", (n + m,), INT16)
+    c = b.array("c", (m,), INT16)
+    y = b.array("y", (n,), INT32, role="output")
+    b.assign(y[i], y[i] + c[j] * x[i + j])
+    return b.build()
+
+
+class TestLoop:
+    def test_trip_count(self):
+        assert Loop("i", 10).trip_count == 10
+        assert Loop("i", 10, 2).trip_count == 8
+        assert Loop("i", 10, 0, 3).trip_count == 4
+
+    def test_values_follow_step(self):
+        assert Loop("i", 7, 1, 2).values().tolist() == [1, 3, 5]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(IRError):
+            Loop("i", 0)
+
+    def test_bad_step(self):
+        with pytest.raises(IRError):
+            Loop("i", 5, 0, 0)
+
+    def test_str(self):
+        assert "i++" in str(Loop("i", 5))
+        assert "i += 2" in str(Loop("i", 5, 0, 2))
+
+
+class TestLoopNest:
+    def test_depth_and_vars(self, example_kernel):
+        nest = example_kernel.nest
+        assert nest.depth == 3
+        assert nest.loop_vars == ("i", "j", "k")
+        assert nest.iteration_count == 4 * 20 * 30
+
+    def test_level_of(self, example_kernel):
+        assert example_kernel.nest.level_of("i") == 1
+        assert example_kernel.nest.level_of("k") == 3
+        with pytest.raises(IRError):
+            example_kernel.nest.level_of("z")
+
+    def test_iteration_points_order(self):
+        kern = build_demo(n=2, m=2)
+        points = list(kern.nest.iteration_points())
+        assert points == [
+            {"i": 0, "j": 0},
+            {"i": 0, "j": 1},
+            {"i": 1, "j": 0},
+            {"i": 1, "j": 1},
+        ]
+
+    def test_meshgrids_broadcast(self):
+        kern = build_demo(n=3, m=2)
+        grids = kern.nest.meshgrids()
+        assert grids["i"].shape == (3, 1)
+        assert grids["j"].shape == (1, 2)
+
+    def test_duplicate_loop_vars_rejected(self):
+        loop = Loop("i", 3)
+        kern = build_demo()
+        with pytest.raises(IRError):
+            LoopNest((loop, loop), kern.nest.body)
+
+
+class TestBuilder:
+    def test_duplicate_loop_rejected(self):
+        b = KernelBuilder("demo")
+        b.loop("i", 4)
+        with pytest.raises(IRError):
+            b.loop("i", 5)
+
+    def test_duplicate_array_rejected(self):
+        b = KernelBuilder("demo")
+        b.array("a", (4,))
+        with pytest.raises(IRError):
+            b.array("a", (5,))
+
+    def test_index_arithmetic(self):
+        b = KernelBuilder("demo")
+        i = b.loop("i", 4)
+        j = b.loop("j", 3)
+        a = b.array("a", (20,), INT16)
+        out = b.array("o", (4, 3), INT16, role="output")
+        b.assign(out[i, j], a[2 * i + j + 1])
+        kern = b.build()
+        site = [s for s in kern.reference_sites() if s.array_name == "a"][0]
+        assert site.ref.indices[0].coeffs == {"i": 2, "j": 1}
+        assert site.ref.indices[0].offset == 1
+
+    def test_reverse_arithmetic(self):
+        b = KernelBuilder("demo")
+        i = b.loop("i", 4)
+        a = b.array("a", (10,), INT16)
+        out = b.array("o", (4,), INT16, role="output")
+        b.assign(out[i], a[1 + i])
+        kern = b.build()
+        site = [s for s in kern.reference_sites() if s.array_name == "a"][0]
+        assert site.ref.indices[0].offset == 1
+
+    def test_accumulate_sugar(self):
+        b = KernelBuilder("demo")
+        i = b.loop("i", 4)
+        a = b.array("a", (4,), INT16)
+        out = b.array("o", (4,), INT32, role="output")
+        b.accumulate(out[i], a[i] + 0)
+        kern = b.build()
+        assert kern.nest.body[0].is_accumulation()
+
+
+class TestKernel:
+    def test_arrays_collected(self, example_kernel):
+        assert set(example_kernel.arrays) == {"a", "b", "c", "d", "e"}
+
+    def test_read_and_written_sets(self, example_kernel):
+        assert example_kernel.written_arrays == {"d", "e"}
+        assert "a" in example_kernel.read_arrays
+        assert "d" in example_kernel.read_arrays
+
+    def test_reference_sites_order_and_ids(self, example_kernel):
+        ids = [s.site_id for s in example_kernel.reference_sites()]
+        assert ids == [
+            "s0/r:a[k]",
+            "s0/r:b[k][j]",
+            "s0/w:d[i][k]",
+            "s1/r:c[j]",
+            "s1/r:d[i][k]",
+            "s1/w:e[i][j][k]",
+        ]
+
+    def test_site_by_id(self, example_kernel):
+        site = example_kernel.site_by_id("s0/r:a[k]")
+        assert site.array_name == "a"
+        with pytest.raises(IRError):
+            example_kernel.site_by_id("nope")
+
+    def test_total_memory_accesses(self):
+        kern = build_demo(n=2, m=2)
+        # 4 sites (y read, c, x, y write) x 4 iterations
+        assert kern.total_memory_accesses() == 16
+
+    def test_pretty_renders(self, example_kernel):
+        text = pretty(example_kernel)
+        assert "for (i = 0; i < 4; i++)" in text
+        assert "d[i][k] = (a[k] * b[k][j]);" in text
+
+
+class TestValidation:
+    def test_unbound_variable(self):
+        b = KernelBuilder("bad")
+        i = b.loop("i", 4)
+        a = b.array("a", (10,), INT16)
+        out = b.array("o", (4,), INT16, role="output")
+        from repro.ir import AffineIndex, Load, ArrayRef
+
+        bad_ref = ArrayRef(a.array, (AffineIndex.var("z"),))
+        b.assign(out[i], Load(bad_ref) + 0)
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_out_of_bounds(self):
+        b = KernelBuilder("bad")
+        i = b.loop("i", 10)
+        a = b.array("a", (5,), INT16)
+        out = b.array("o", (10,), INT16, role="output")
+        b.assign(out[i], a[i] + 0)
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_negative_offset_out_of_bounds(self):
+        b = KernelBuilder("bad")
+        i = b.loop("i", 5)
+        a = b.array("a", (5,), INT16)
+        out = b.array("o", (5,), INT16, role="output")
+        b.assign(out[i], a[i - 1] + 0)
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_write_to_input_rejected(self):
+        b = KernelBuilder("bad")
+        i = b.loop("i", 4)
+        a = b.array("a", (4,), INT16)  # input role
+        b.assign(a[i], a[i] + 1)
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_valid_kernel_passes(self, example_kernel):
+        validate_kernel(example_kernel)

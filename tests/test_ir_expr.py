@@ -1,0 +1,181 @@
+"""Tests for repro.ir.expr: affine indices, arrays, references, operand trees."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir.expr import (
+    AffineIndex,
+    Array,
+    ArrayRef,
+    BinOp,
+    Const,
+    Load,
+    Op,
+    UnaryOp,
+    loads_in,
+    walk_expr,
+)
+from repro.ir.types import BIT, INT16, INT32
+
+
+class TestAffineIndex:
+    def test_canonical_form_drops_zero_coefficients(self):
+        idx = AffineIndex((("i", 0), ("j", 2)), 1)
+        assert idx.terms == (("j", 2),)
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(IRError):
+            AffineIndex((("i", 1), ("i", 2)), 0)
+
+    def test_constructors(self):
+        assert AffineIndex.var("i").coeff("i") == 1
+        assert AffineIndex.const(7).offset == 7
+        assert AffineIndex.of({"i": 2, "j": 3}, 1).coeff("j") == 3
+
+    def test_add_and_sub(self):
+        i, j = AffineIndex.var("i"), AffineIndex.var("j")
+        both = i + j
+        assert both.coeffs == {"i": 1, "j": 1}
+        diff = (i + j) - j
+        assert diff.coeffs == {"i": 1}
+        assert (i + 5).offset == 5
+        assert (i - 3).offset == -3
+
+    def test_scale(self):
+        idx = AffineIndex.var("i", 2, 3).scale(-2)
+        assert idx.coeff("i") == -4
+        assert idx.offset == -6
+
+    def test_evaluate(self):
+        idx = AffineIndex.of({"i": 2, "j": -1}, 5)
+        assert idx.evaluate({"i": 3, "j": 4}) == 7
+
+    def test_evaluate_missing_var_raises(self):
+        with pytest.raises(IRError):
+            AffineIndex.var("i").evaluate({"j": 0})
+
+    def test_evaluate_grid_matches_scalar(self):
+        idx = AffineIndex.of({"i": 3, "j": 1}, -2)
+        grid_i = np.arange(4).reshape(4, 1)
+        grid_j = np.arange(5).reshape(1, 5)
+        grid = idx.evaluate_grid({"i": grid_i, "j": grid_j})
+        for i in range(4):
+            for j in range(5):
+                assert grid[i, j] == idx.evaluate({"i": i, "j": j})
+
+    def test_constant_grid_shape(self):
+        idx = AffineIndex.const(9)
+        grid = idx.evaluate_grid({})
+        assert grid.shape == ()
+        assert int(grid) == 9
+
+    def test_str_rendering(self):
+        assert str(AffineIndex.var("i") + AffineIndex.var("j")) == "i + j"
+        assert str(AffineIndex.var("i", 2, 1)) == "2*i + 1"
+        assert str(AffineIndex.const(0)) == "0"
+
+    def test_equality_is_structural(self):
+        one = AffineIndex.of({"i": 1, "j": 1})
+        two = AffineIndex.of({"j": 1, "i": 1})
+        assert one == two
+        assert hash(one) == hash(two)
+
+
+class TestArray:
+    def test_basic_properties(self):
+        arr = Array("a", (4, 8), INT16)
+        assert arr.rank == 2
+        assert arr.size == 32
+        assert arr.bits == 32 * 16
+
+    def test_bad_name(self):
+        with pytest.raises(IRError):
+            Array("2bad", (4,))
+
+    def test_bad_shape(self):
+        with pytest.raises(IRError):
+            Array("a", ())
+        with pytest.raises(IRError):
+            Array("a", (0,))
+
+    def test_bad_role(self):
+        with pytest.raises(IRError):
+            Array("a", (4,), INT16, role="scratch")
+
+
+class TestArrayRef:
+    def _ref(self):
+        arr = Array("a", (10, 10))
+        return ArrayRef(arr, (AffineIndex.var("i"), AffineIndex.var("j")))
+
+    def test_rank_mismatch(self):
+        arr = Array("a", (10, 10))
+        with pytest.raises(IRError):
+            ArrayRef(arr, (AffineIndex.var("i"),))
+
+    def test_variables_and_dependence(self):
+        ref = self._ref()
+        assert ref.variables() == frozenset({"i", "j"})
+        assert ref.depends_on("i")
+        assert not ref.depends_on("k")
+
+    def test_address(self):
+        ref = self._ref()
+        assert ref.address({"i": 2, "j": 3}) == (2, 3)
+
+    def test_address_out_of_bounds(self):
+        ref = self._ref()
+        with pytest.raises(IRError):
+            ref.address({"i": 10, "j": 0})
+
+    def test_flat_address_grid_row_major(self):
+        ref = self._ref()
+        grids = {
+            "i": np.arange(2).reshape(2, 1),
+            "j": np.arange(3).reshape(1, 3),
+        }
+        flat = ref.flat_address_grid(grids)
+        assert flat[1, 2] == 1 * 10 + 2
+
+    def test_str(self):
+        assert str(self._ref()) == "a[i][j]"
+
+
+class TestOperandTrees:
+    def test_operator_sugar_builds_binops(self):
+        a = Const(1)
+        expr = a + 2
+        assert isinstance(expr, BinOp)
+        assert expr.op is Op.ADD
+        assert isinstance(expr.right, Const)
+
+    def test_comparison_dtype_is_bit(self):
+        expr = Const(1).eq(Const(2))
+        assert expr.dtype == BIT
+
+    def test_binop_dtype_widens(self):
+        left = Const(1, INT16)
+        right = Const(2, INT32)
+        assert (left * right).dtype == INT32
+
+    def test_unary_requires_unary_op(self):
+        with pytest.raises(IRError):
+            UnaryOp(Op.ADD, Const(1))
+        with pytest.raises(IRError):
+            BinOp(Op.NOT, Const(1), Const(2))
+
+    def test_walk_order_operands_first(self):
+        expr = (Const(1) + Const(2)) * Const(3)
+        kinds = [type(node).__name__ for node in walk_expr(expr)]
+        assert kinds == ["Const", "Const", "BinOp", "Const", "BinOp"]
+
+    def test_loads_in_collects_left_to_right(self):
+        arr = Array("a", (4,))
+        l1 = Load(ArrayRef(arr, (AffineIndex.const(0),)))
+        l2 = Load(ArrayRef(arr, (AffineIndex.const(1),)))
+        assert loads_in(l1 * l2) == [l1, l2]
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(IRError):
+            Const(1) + "nope"  # type: ignore[operator]

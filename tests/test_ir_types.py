@@ -1,0 +1,80 @@
+"""Tests for repro.ir.types: DataType semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir.types import BIT, DataType, INT8, INT16, INT32, UINT8, UINT16
+
+
+class TestConstruction:
+    def test_names(self):
+        assert INT16.name == "int16"
+        assert UINT8.name == "uint8"
+        assert BIT.name == "bit"
+
+    def test_width_bounds(self):
+        with pytest.raises(IRError):
+            DataType(0)
+        with pytest.raises(IRError):
+            DataType(65)
+        assert DataType(64).bits == 64
+
+    def test_one_bit_must_be_unsigned(self):
+        with pytest.raises(IRError):
+            DataType(1, signed=True)
+        assert DataType(1, signed=False) == BIT
+
+    def test_equality_and_hash(self):
+        assert DataType(16, True) == INT16
+        assert hash(DataType(16, True)) == hash(INT16)
+        assert DataType(16, False) != INT16
+
+
+class TestRanges:
+    def test_signed_range(self):
+        assert INT8.min_value == -128
+        assert INT8.max_value == 127
+
+    def test_unsigned_range(self):
+        assert UINT8.min_value == 0
+        assert UINT8.max_value == 255
+
+    def test_bit_range(self):
+        assert BIT.min_value == 0
+        assert BIT.max_value == 1
+
+    def test_contains(self):
+        assert INT8.contains(-128)
+        assert not INT8.contains(128)
+        assert UINT8.contains(255)
+        assert not UINT8.contains(-1)
+
+
+class TestWrap:
+    def test_wrap_identity_in_range(self):
+        values = np.array([-5, 0, 7], dtype=np.int64)
+        assert np.array_equal(INT8.wrap(values), values)
+
+    def test_wrap_signed_overflow(self):
+        assert INT8.wrap(np.int64(128)) == -128
+        assert INT8.wrap(np.int64(-129)) == 127
+        assert INT8.wrap(np.int64(255)) == -1
+
+    def test_wrap_unsigned_overflow(self):
+        assert UINT8.wrap(np.int64(256)) == 0
+        assert UINT8.wrap(np.int64(-1)) == 255
+
+    def test_wrap_bit(self):
+        assert BIT.wrap(np.int64(2)) == 0
+        assert BIT.wrap(np.int64(3)) == 1
+
+    def test_wrap_wide_values(self):
+        assert INT32.wrap(np.int64(1 << 32)) == 0
+        assert UINT16.wrap(np.int64(1 << 16)) == 0
+
+    def test_numpy_dtype_holds_range(self):
+        for dtype in (INT8, UINT8, INT16, UINT16, INT32, BIT):
+            nd = dtype.numpy_dtype()
+            assert np.iinfo(nd).min <= dtype.min_value
+            assert np.iinfo(nd).max >= dtype.max_value

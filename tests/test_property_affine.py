@@ -1,0 +1,60 @@
+"""Property-based tests for affine index algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.expr import AffineIndex
+
+variables = st.sampled_from(["i", "j", "k", "l"])
+coeffs = st.integers(-8, 8)
+points = st.fixed_dictionaries(
+    {v: st.integers(-20, 20) for v in ["i", "j", "k", "l"]}
+)
+
+
+@st.composite
+def affine(draw):
+    mapping = draw(
+        st.dictionaries(variables, coeffs, max_size=4)
+    )
+    offset = draw(st.integers(-50, 50))
+    return AffineIndex.of(mapping, offset)
+
+
+@given(affine(), affine(), points)
+@settings(max_examples=200, deadline=None)
+def test_addition_is_pointwise(a, b, point):
+    assert (a + b).evaluate(point) == a.evaluate(point) + b.evaluate(point)
+
+
+@given(affine(), affine(), points)
+@settings(max_examples=200, deadline=None)
+def test_subtraction_is_pointwise(a, b, point):
+    assert (a - b).evaluate(point) == a.evaluate(point) - b.evaluate(point)
+
+
+@given(affine(), st.integers(-6, 6), points)
+@settings(max_examples=200, deadline=None)
+def test_scaling_is_pointwise(a, factor, point):
+    assert a.scale(factor).evaluate(point) == factor * a.evaluate(point)
+
+
+@given(affine(), points)
+@settings(max_examples=100, deadline=None)
+def test_self_subtraction_is_zero(a, point):
+    assert (a - a).evaluate(point) == 0
+    assert (a - a).is_constant()
+
+
+@given(affine(), affine())
+@settings(max_examples=100, deadline=None)
+def test_addition_commutes_structurally(a, b):
+    assert a + b == b + a
+    assert hash(a + b) == hash(b + a)
+
+
+@given(affine())
+@settings(max_examples=100, deadline=None)
+def test_canonical_form_roundtrip(a):
+    rebuilt = AffineIndex.of(a.coeffs, a.offset)
+    assert rebuilt == a

@@ -1,0 +1,128 @@
+"""Tests for coverage masks: the operational hit/miss model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_groups
+from repro.errors import AnalysisError
+from repro.scalar.coverage import GroupCoverage
+
+
+def coverage_of(kernel, name):
+    group = {g.name: g for g in build_groups(kernel)}[name]
+    return GroupCoverage(kernel, group), group
+
+
+class TestCoveredRule:
+    def test_one_register_covers_nothing_when_beta_big(self, example_kernel):
+        cov, _ = coverage_of(example_kernel, "a[k]")
+        assert cov.covered(1) == 0
+        assert cov.covered(2) == 2
+        assert cov.covered(30) == 30
+        assert cov.covered(99) == 30  # capped at beta
+
+    def test_beta_one_group_covered_at_one(self, small_fir):
+        cov, _ = coverage_of(small_fir, "y[i]")
+        assert cov.covered(1) == 1
+
+    def test_negative_registers_rejected(self, example_kernel):
+        cov, _ = coverage_of(example_kernel, "a[k]")
+        with pytest.raises(AnalysisError):
+            cov.covered(-1)
+
+
+class TestKinds:
+    def test_kinds(self, example_kernel, small_fir):
+        assert coverage_of(example_kernel, "a[k]")[0].kind == "pinned"
+        assert coverage_of(example_kernel, "e[i][j][k]")[0].kind == "none"
+        assert coverage_of(small_fir, "x[i + j]")[0].kind == "window"
+
+
+class TestPinnedMasks:
+    def test_full_coverage_read(self, example_kernel):
+        cov, group = coverage_of(example_kernel, "a[k]")
+        res = cov.result(30)
+        # Misses only at first touch: 30 loads total.
+        assert res.ram_reads == 30
+        assert res.ram_writes == 0
+        # First touches all happen at i=0, j=0.
+        assert res.read_miss[0, 0, :].all()
+        assert not res.read_miss[0, 1:, :].any()
+
+    def test_partial_coverage_low_anchor(self, example_kernel):
+        cov, _ = coverage_of(example_kernel, "d[i][k]")
+        res = cov.result(12, anchor="low")
+        # Covered k < 12 stores buffered; others stored every iteration.
+        assert not res.write_miss[:, :, :12].any()
+        assert res.write_miss[:, :, 12:].all()
+        assert res.writeback_stores == 12 * 4  # covered x regions(i)
+
+    def test_partial_coverage_high_anchor(self, example_kernel):
+        cov, _ = coverage_of(example_kernel, "d[i][k]")
+        res = cov.result(12, anchor="high")
+        assert res.write_miss[:, :, :18].all()
+        assert not res.write_miss[:, :, 18:].any()
+        assert res.writeback_stores == 12 * 4
+
+    def test_anchor_does_not_change_totals(self, example_kernel):
+        cov, _ = coverage_of(example_kernel, "d[i][k]")
+        low = cov.result(12, anchor="low")
+        high = cov.result(12, anchor="high")
+        assert low.total_ram_accesses == high.total_ram_accesses
+
+    def test_bad_anchor(self, example_kernel):
+        cov, _ = coverage_of(example_kernel, "d[i][k]")
+        with pytest.raises(AnalysisError):
+            cov.result(12, anchor="middle")
+
+    def test_zero_coverage_all_miss(self, example_kernel):
+        cov, _ = coverage_of(example_kernel, "b[k][j]")
+        res = cov.result(1)
+        assert res.read_miss.all()
+        assert res.total_ram_accesses == example_kernel.iteration_count
+
+
+class TestAccessTotalsMatchProfiles:
+    """The mask totals must agree with the analytic profile at endpoints."""
+
+    @pytest.mark.parametrize(
+        "name", ["a[k]", "b[k][j]", "c[j]", "d[i][k]", "e[i][j][k]"]
+    )
+    def test_example_full_allocation(self, example_kernel, name):
+        cov, group = coverage_of(example_kernel, name)
+        assert cov.ram_accesses(group.full_registers) == group.profile.full_accesses
+
+    @pytest.mark.parametrize("name", ["a[k]", "b[k][j]", "c[j]", "e[i][j][k]"])
+    def test_example_baseline(self, example_kernel, name):
+        cov, group = coverage_of(example_kernel, name)
+        assert cov.ram_accesses(1) == group.profile.baseline_accesses
+
+
+class TestWindowMasks:
+    def test_full_window_fir(self, small_fir):
+        cov, group = coverage_of(small_fir, "x[i + j]")
+        res = cov.result(group.full_registers)
+        # Full window: distinct loads only = n + taps - 1.
+        assert res.ram_reads == 11
+
+    def test_partial_window_monotone(self, small_fir):
+        cov, group = coverage_of(small_fir, "x[i + j]")
+        misses = [cov.result(r).ram_reads for r in range(1, 6)]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_window_trace_present(self, small_fir):
+        cov, _ = coverage_of(small_fir, "x[i + j]")
+        res = cov.result(3)
+        assert res.window_inserted is not None
+        assert res.window_evicted is not None
+        assert res.window_freed is not None
+
+
+class TestAccumulatorCoverage:
+    def test_y_group(self, small_fir):
+        cov, group = coverage_of(small_fir, "y[i]")
+        res = cov.result(1)
+        # One load at j=0 per i; all stores buffered; one writeback per i.
+        assert res.ram_reads == 8
+        assert int(res.write_miss.sum()) == 0
+        assert res.writeback_stores == 8

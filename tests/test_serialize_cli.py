@@ -1,0 +1,102 @@
+"""Tests for kernel JSON serialization and the CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.serialize import kernel_from_json, kernel_to_json
+from repro.kernels import paper_kernels
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("kernel", paper_kernels(), ids=lambda k: k.name)
+    def test_roundtrip_structural_equality(self, kernel):
+        text = kernel_to_json(kernel)
+        back = kernel_from_json(text)
+        assert back.name == kernel.name
+        assert back.nest == kernel.nest
+        assert back.arrays == kernel.arrays
+
+    def test_roundtrip_preserves_analysis(self, example_kernel):
+        from repro.analysis import build_groups
+
+        back = kernel_from_json(kernel_to_json(example_kernel))
+        original = {g.name: g.full_registers for g in build_groups(example_kernel)}
+        restored = {g.name: g.full_registers for g in build_groups(back)}
+        assert original == restored
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(IRError):
+            kernel_from_json("not json {")
+
+    def test_rejects_wrong_version(self, example_kernel):
+        doc = json.loads(kernel_to_json(example_kernel))
+        doc["format"] = 99
+        with pytest.raises(IRError):
+            kernel_from_json(json.dumps(doc))
+
+    def test_rejects_undeclared_array(self, example_kernel):
+        doc = json.loads(kernel_to_json(example_kernel))
+        doc["body"][0]["target"]["array"] = "ghost"
+        with pytest.raises(IRError):
+            kernel_from_json(json.dumps(doc))
+
+    def test_validates_on_load(self, example_kernel):
+        doc = json.loads(kernel_to_json(example_kernel))
+        # Shrink an array under its accesses: validation must fire.
+        for spec in doc["arrays"]:
+            if spec["name"] == "a":
+                spec["shape"] = [2]
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            kernel_from_json(json.dumps(doc))
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fir" in out and "CPA-RA" in out
+
+    def test_kernel_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["kernel", "mat", "--budget", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "mat under a 32-register budget" in out
+        assert "CPA-RA" in out
+
+    def test_kernel_trace(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["kernel", "mat", "--budget", "32", "--trace",
+             "--algorithms", "CPA-RA"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "decision trace" in out
+
+    def test_figure2_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(c), reproduced" in out
+        assert "1800" in out
+
+    def test_vhdl_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["vhdl", "fir", "--algorithm", "FR-RA"]) == 0
+        out = capsys.readouterr().out
+        assert "entity fir_fr_ra is" in out
+
+    def test_unknown_kernel_rejected(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["kernel", "nope"])
