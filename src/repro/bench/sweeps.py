@@ -4,17 +4,25 @@ These are the A1-A4 experiments of DESIGN.md: register-budget sweeps,
 RAM-latency sweeps, allocator-policy comparisons (including the exact
 knapsack), and the residency-policy study that justifies the coverage
 model's pinned/Belady split.
+
+The multi-point sweeps are thin adapters over :mod:`repro.explore`: each
+builds the query list for its grid and hands it to the engine, so every
+sweep gains parallelism (``jobs``) and resumable caching (``cache``)
+while returning exactly the shapes the serial versions did.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from pathlib import Path
 
 import numpy as np
 
 from repro.analysis.groups import build_groups
-from repro.core.pipeline import allocator_by_name, evaluate_kernel
 from repro.dfg.latency import LatencyModel
+from repro.explore.cache import ResultCache
+from repro.explore.executor import Executor
+from repro.explore.query import DesignQuery, DesignRecord, LatencySpec
 from repro.ir.kernel import Kernel
 from repro.scalar.coverage import GroupCoverage
 from repro.sim.residency import lru_misses, opt_trace, pinned_misses
@@ -40,30 +48,50 @@ class BudgetPoint:
     total_registers: int
 
 
+def _records(
+    queries: "list[DesignQuery]",
+    jobs: int,
+    cache: "ResultCache | Path | str | None",
+) -> "list[DesignRecord]":
+    """Run queries through the engine; re-raise the first failure."""
+    results = Executor(jobs=jobs, cache=cache).run(queries)
+    for record in results:
+        record.raise_error()
+    return list(results)
+
+
 def budget_sweep(
     kernel: Kernel,
     budgets: "list[int]",
     algorithms: tuple[str, ...] = ("FR-RA", "PR-RA", "CPA-RA"),
     model: LatencyModel | None = None,
+    jobs: int = 1,
+    cache: "ResultCache | Path | str | None" = None,
 ) -> list[BudgetPoint]:
     """Cycles/wall-clock versus register budget (ablation A1)."""
-    points: list[BudgetPoint] = []
-    for budget in budgets:
-        result = evaluate_kernel(
-            kernel, budget=budget, algorithms=algorithms, model=model
+    if not budgets or not algorithms:
+        return []
+    proto = DesignQuery.from_kernel(
+        kernel,
+        allocator=algorithms[0],
+        budget=budgets[0],
+        latency=LatencySpec.from_model(model),
+    )
+    queries = [
+        replace(proto, allocator=algorithm, budget=budget)
+        for budget in budgets
+        for algorithm in algorithms
+    ]
+    return [
+        BudgetPoint(
+            budget=query.budget,
+            algorithm=query.allocator,
+            cycles=record.cycles,
+            wall_clock_us=record.wall_clock_us,
+            total_registers=record.total_registers,
         )
-        for algorithm in algorithms:
-            design = result.design(algorithm)
-            points.append(
-                BudgetPoint(
-                    budget=budget,
-                    algorithm=algorithm,
-                    cycles=design.total_cycles,
-                    wall_clock_us=design.wall_clock_us,
-                    total_registers=design.allocation.total_registers,
-                )
-            )
-    return points
+        for query, record in zip(queries, _records(queries, jobs, cache))
+    ]
 
 
 def latency_sweep(
@@ -71,22 +99,33 @@ def latency_sweep(
     latencies: "list[int]",
     budget: int = 64,
     algorithms: tuple[str, ...] = ("FR-RA", "PR-RA", "CPA-RA"),
+    jobs: int = 1,
+    cache: "ResultCache | Path | str | None" = None,
 ) -> dict[int, dict[str, int]]:
     """Cycle counts versus RAM access latency (ablation A2).
 
     Higher RAM latency widens CPA-RA's advantage: every miss left on the
     critical path costs more.
     """
-    out: dict[int, dict[str, int]] = {}
-    for latency in latencies:
-        model = LatencyModel.realistic(ram_latency=latency)
-        result = evaluate_kernel(
-            kernel, budget=budget, algorithms=algorithms, model=model
-        )
-        out[latency] = {
-            algorithm: result.design(algorithm).total_cycles
-            for algorithm in algorithms
-        }
+    if not latencies or not algorithms:
+        return {}
+    # Building the model validates each latency exactly like the serial
+    # version did (0 raises AnalysisError instead of aliasing L=1).
+    specs = [
+        LatencySpec.from_model(LatencyModel.realistic(ram_latency=latency))
+        for latency in latencies
+    ]
+    proto = DesignQuery.from_kernel(
+        kernel, allocator=algorithms[0], budget=budget, latency=specs[0]
+    )
+    queries = [
+        replace(proto, allocator=algorithm, latency=spec)
+        for spec in specs
+        for algorithm in algorithms
+    ]
+    out: dict[int, dict[str, int]] = {latency: {} for latency in latencies}
+    for query, record in zip(queries, _records(queries, jobs, cache)):
+        out[query.latency.ram_latency][query.allocator] = record.cycles
     return out
 
 
@@ -95,24 +134,34 @@ def policy_comparison(
     budget: int = 64,
     algorithms: tuple[str, ...] = ("FR-RA", "PR-RA", "CPA-RA", "KS-RA", "NO-SR"),
     model: LatencyModel | None = None,
+    jobs: int = 1,
+    cache: "ResultCache | Path | str | None" = None,
 ) -> dict[str, tuple[int, int]]:
     """(saved RAM accesses, cycles) per allocator (ablation A3).
 
     The exact knapsack (KS-RA) maximizes saved accesses; CPA-RA may save
     fewer accesses yet win on cycles — the paper's central claim isolated.
     """
-    result = evaluate_kernel(
-        kernel, budget=budget, algorithms=algorithms, model=model
+    if not algorithms:
+        return {}
+    proto = DesignQuery.from_kernel(
+        kernel,
+        allocator=algorithms[0],
+        budget=budget,
+        latency=LatencySpec.from_model(model),
     )
-    naive_accesses = result.design("NO-SR").cycles.total_ram_accesses if (
-        "NO-SR" in result.designs
-    ) else None
+    queries = [
+        replace(proto, allocator=algorithm) for algorithm in algorithms
+    ]
+    records = dict(zip(algorithms, _records(queries, jobs, cache)))
+    naive = records.get("NO-SR")
+    naive_accesses = naive.total_ram_accesses if naive is not None else None
     out: dict[str, tuple[int, int]] = {}
     for algorithm in algorithms:
-        design = result.design(algorithm)
-        accesses = design.cycles.total_ram_accesses
+        record = records[algorithm]
+        accesses = record.total_ram_accesses
         saved = (naive_accesses - accesses) if naive_accesses is not None else 0
-        out[algorithm] = (saved, design.total_cycles)
+        out[algorithm] = (saved, record.cycles)
     return out
 
 

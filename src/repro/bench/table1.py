@@ -8,16 +8,25 @@ estimated clock period, wall-clock execution time (with speedup against
 v1), slice count/occupancy and RAM blocks — plus the aggregate statistics
 the prose quotes (average cycle reduction, average wall-clock gain,
 average clock-rate loss).
+
+The evaluation grid runs through :mod:`repro.explore`, so regeneration
+parallelizes over ``jobs`` worker processes and can resume from a result
+``cache`` — the aggregation below only reshapes engine records into the
+table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from pathlib import Path
 from statistics import mean
 
 from repro.bench.formatting import render_table
-from repro.core.pipeline import PAPER_VERSIONS, PipelineResult, evaluate_kernel
+from repro.core.pipeline import PAPER_VERSIONS
 from repro.dfg.latency import LatencyModel
+from repro.explore.cache import ResultCache
+from repro.explore.executor import Executor
+from repro.explore.query import DesignQuery, LatencySpec
 from repro.hw.device import XCV1000, Device
 from repro.ir.kernel import Kernel
 from repro.kernels.registry import PAPER_REGISTER_BUDGET, paper_kernels
@@ -68,22 +77,38 @@ def generate_table1(
     kernels: "list[Kernel] | None" = None,
     device: Device = XCV1000,
     model: LatencyModel | None = None,
+    jobs: int = 1,
+    cache: "ResultCache | Path | str | None" = None,
 ) -> Table1:
     """Run the full evaluation and collect Table 1."""
     kernels = kernels if kernels is not None else paper_kernels()
-    rows: list[Table1Row] = []
-    results: list[PipelineResult] = []
-    for kernel in kernels:
-        result = evaluate_kernel(
-            kernel, budget=budget, device=device, model=model
+    latency = LatencySpec.from_model(model)
+    protos = [
+        DesignQuery.from_kernel(
+            kernel, allocator=PAPER_VERSIONS[0], budget=budget,
+            latency=latency, device=device,
         )
-        results.append(result)
-        baseline = result.baseline
-        for algorithm in PAPER_VERSIONS:
-            design = result.design(algorithm)
-            allocation = design.allocation
+        for kernel in kernels
+    ]
+    queries = [
+        replace(proto, allocator=algorithm)
+        for proto in protos
+        for algorithm in PAPER_VERSIONS
+    ]
+    results = Executor(jobs=jobs, cache=cache).run(queries)
+    for record in results:
+        record.raise_error()
+
+    rows: list[Table1Row] = []
+    per_kernel = [
+        results.records[i : i + len(PAPER_VERSIONS)]
+        for i in range(0, len(results), len(PAPER_VERSIONS))
+    ]
+    for kernel, records in zip(kernels, per_kernel):
+        baseline = records[0]
+        for algorithm, record in zip(PAPER_VERSIONS, records):
             required = " ".join(
-                f"{name}:{beta}" for name, beta in allocation.betas.items()
+                f"{name}:{beta}" for name, beta in record.betas.items()
             )
             rows.append(
                 Table1Row(
@@ -91,17 +116,19 @@ def generate_table1(
                     version=_VERSION_TAGS[algorithm],
                     algorithm=algorithm,
                     required=required,
-                    distribution=allocation.distribution(),
-                    total_registers=allocation.total_registers,
-                    cycles=design.total_cycles,
-                    cycle_reduction_pct=design.cycle_reduction_vs(baseline) * 100,
-                    clock_ns=design.clock_ns,
-                    time_us=design.wall_clock_us,
-                    speedup=design.speedup_over(baseline),
-                    slices=design.slices,
-                    occupancy_pct=device.occupancy(design.slices) * 100,
-                    ram_arrays=len(design.binding.ram_arrays),
-                    ram_blocks=design.ram_blocks,
+                    distribution=record.distribution,
+                    total_registers=record.total_registers,
+                    cycles=record.cycles,
+                    cycle_reduction_pct=(
+                        1.0 - record.cycles / baseline.cycles
+                    ) * 100,
+                    clock_ns=record.clock_ns,
+                    time_us=record.wall_clock_us,
+                    speedup=baseline.wall_clock_us / record.wall_clock_us,
+                    slices=record.slices,
+                    occupancy_pct=record.occupancy_pct,
+                    ram_arrays=record.ram_arrays,
+                    ram_blocks=record.ram_blocks,
                 )
             )
 

@@ -10,8 +10,11 @@ Commands
     Evaluate one paper kernel under a budget with chosen algorithms.
 ``vhdl NAME``
     Emit behavioral VHDL for one kernel/algorithm pair.
+``explore``
+    Sweep a (kernels x allocators x budgets x latencies x devices)
+    design space in parallel, with cached/resumable results.
 ``list``
-    List the available kernels and allocators.
+    List the available kernels, allocators and devices.
 """
 
 from __future__ import annotations
@@ -23,6 +26,8 @@ from repro.bench import figure2_report, generate_table1, render_table, render_ta
 from repro.codegen import generate_vhdl
 from repro.core import evaluate_kernel
 from repro.core.pipeline import _ALLOCATORS, allocator_by_name
+from repro.explore import Executor, ExplorationSpace, LatencySpec, ResultCache
+from repro.hw.device import DEVICES, XCV1000
 from repro.kernels import KERNEL_FACTORIES, PAPER_REGISTER_BUDGET, get_kernel
 
 __all__ = ["main"]
@@ -90,9 +95,48 @@ def _cmd_vhdl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ram_latency(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"RAM latency must be >= 1 cycle, got {value}"
+        )
+    return value
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    latencies = (
+        tuple(LatencySpec("realistic", lat) for lat in args.ram_latencies)
+        if args.ram_latencies
+        else (LatencySpec(args.latency),)
+    )
+    space = ExplorationSpace(
+        kernels=tuple(args.kernels),
+        allocators=tuple(args.allocators),
+        budgets=tuple(args.budgets),
+        latencies=latencies,
+        devices=tuple(args.devices),
+        ram_ports=(args.ram_ports,),
+    )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    executor = Executor(jobs=args.jobs, cache=cache, reuse_cache=args.resume)
+    results = executor.run(space)
+    if args.format == "json":
+        print(results.to_json())
+    elif args.format == "csv":
+        sys.stdout.write(results.to_csv())
+    else:
+        print(results.render(
+            title=f"explored {space.size} design points"
+        ))
+    print(f"explore: {results.stats.summary()}", file=sys.stderr)
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("kernels:   ", ", ".join(sorted(KERNEL_FACTORIES)))
     print("allocators:", ", ".join(sorted(_ALLOCATORS)))
+    print("devices:   ", ", ".join(sorted(DEVICES)))
     return 0
 
 
@@ -129,6 +173,51 @@ def main(argv: "list[str] | None" = None) -> int:
                         choices=sorted(_ALLOCATORS))
     p_vhdl.add_argument("--budget", type=int, default=PAPER_REGISTER_BUDGET)
     p_vhdl.set_defaults(func=_cmd_vhdl)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="sweep a design space in parallel with cached, resumable results",
+    )
+    p_explore.add_argument(
+        "--kernels", nargs="+", default=sorted(KERNEL_FACTORIES),
+        choices=sorted(KERNEL_FACTORIES), metavar="KERNEL",
+    )
+    p_explore.add_argument(
+        "--allocators", nargs="+", default=sorted(_ALLOCATORS),
+        choices=sorted(_ALLOCATORS), metavar="ALLOC",
+    )
+    p_explore.add_argument(
+        "--budgets", nargs="+", type=int,
+        default=[PAPER_REGISTER_BUDGET], metavar="N",
+    )
+    p_explore.add_argument(
+        "--latency", default="default",
+        choices=("default", "realistic", "tmem"),
+        help="latency model kind (ignored when --ram-latencies is given)",
+    )
+    p_explore.add_argument(
+        "--ram-latencies", nargs="+", type=_ram_latency, default=None,
+        metavar="L", help="sweep realistic models at these RAM latencies",
+    )
+    p_explore.add_argument(
+        "--devices", nargs="+", default=[XCV1000.name],
+        choices=sorted(DEVICES), metavar="DEVICE",
+    )
+    p_explore.add_argument(
+        "--ram-ports", type=int, default=0, choices=(0, 1, 2),
+        help="RAM ports per block (0 = device default)",
+    )
+    p_explore.add_argument("--jobs", type=int, default=1,
+                           help="worker processes (1 = inline)")
+    p_explore.add_argument("--cache-dir", default=None,
+                           help="on-disk result cache directory")
+    p_explore.add_argument(
+        "--resume", action="store_true",
+        help="reuse cached results, evaluating only missing points",
+    )
+    p_explore.add_argument("--format", default="table",
+                           choices=("table", "json", "csv"))
+    p_explore.set_defaults(func=_cmd_explore)
 
     p_list = sub.add_parser("list", help="list kernels and allocators")
     p_list.set_defaults(func=_cmd_list)

@@ -1,0 +1,45 @@
+"""Parallel design-space exploration with cached, resumable sweeps.
+
+The engine behind every multi-point experiment in the repo: declare an
+:class:`ExplorationSpace` (kernels x allocators x budgets x latency
+models x devices x RAM ports), expand it to hashable
+:class:`DesignQuery` points, and hand it to an :class:`Executor` that
+evaluates points in parallel worker processes through an on-disk
+:class:`ResultCache` (keyed by config hash + code version, so repeated
+and resumed sweeps skip completed work).  The returned :class:`ResultSet`
+supports filtering, grouping, Pareto-frontier queries and JSON/CSV
+export.
+
+Quickstart::
+
+    from repro.explore import ExplorationSpace, Executor
+
+    space = ExplorationSpace(kernels=("fir", "mat"), budgets=(8, 16, 64))
+    results = Executor(jobs=4, cache=".explore-cache").run(space)
+    for record in results.ok().pareto("cycles", "total_registers"):
+        print(record.query.describe(), record.cycles)
+
+See ``docs/explore.md`` for the full API, the cache layout and the
+``repro explore`` CLI.
+"""
+
+from repro.explore.cache import ResultCache
+from repro.explore.evaluate import code_version, evaluate_query
+from repro.explore.executor import Executor, ExploreStats, run_queries
+from repro.explore.query import DesignQuery, DesignRecord, LatencySpec
+from repro.explore.results import ResultSet
+from repro.explore.space import ExplorationSpace
+
+__all__ = [
+    "DesignQuery",
+    "DesignRecord",
+    "ExplorationSpace",
+    "Executor",
+    "ExploreStats",
+    "LatencySpec",
+    "ResultCache",
+    "ResultSet",
+    "code_version",
+    "evaluate_query",
+    "run_queries",
+]

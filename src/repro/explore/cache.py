@@ -1,0 +1,82 @@
+"""On-disk, content-addressed result cache for exploration sweeps.
+
+Layout (one JSON file per design point)::
+
+    <root>/
+      <code_version>/            # repro source fingerprint, 16 hex chars
+        <query_digest>.json      # {"version", "query", "record"}
+
+Keying every entry by *query digest x code version* makes the cache both
+resumable (a re-run skips completed points) and self-invalidating (any
+library change lands results in a fresh version directory, so stale
+numbers are never replayed).  Writes are atomic (temp file + rename) so
+concurrent sweeps sharing a cache directory cannot corrupt entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.explore.evaluate import code_version
+from repro.explore.query import DesignQuery, DesignRecord
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A directory of cached :class:`DesignRecord` documents."""
+
+    def __init__(self, root: "Path | str", version: "str | None" = None):
+        self.root = Path(root)
+        self.version = version or code_version()
+
+    @property
+    def version_dir(self) -> Path:
+        return self.root / self.version
+
+    def path_for(self, query: DesignQuery) -> Path:
+        return self.version_dir / f"{query.digest()}.json"
+
+    def get(self, query: DesignQuery) -> "DesignRecord | None":
+        """The cached record for ``query``, or None (also on any damage)."""
+        path = self.path_for(query)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if doc.get("version") != self.version:
+            return None
+        try:
+            return DesignRecord.from_dict(doc["record"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, record: DesignRecord) -> Path:
+        """Atomically persist ``record``; returns the entry path."""
+        path = self.path_for(record.query)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "version": self.version,
+            "query": record.query.key(),
+            "record": record.to_dict(),
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(doc, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        if not self.version_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.version_dir.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete this code version's entries; returns how many."""
+        removed = 0
+        if self.version_dir.is_dir():
+            for path in self.version_dir.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed

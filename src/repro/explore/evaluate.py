@@ -1,0 +1,82 @@
+"""Evaluation of a single design query (the process-pool work unit).
+
+:func:`evaluate_query` is a module-level function so it pickles cleanly
+into :class:`concurrent.futures.ProcessPoolExecutor` workers.  Expected
+domain failures (infeasible budgets, unknown names) come back as failed
+records; programming errors propagate.
+
+Kernel construction and reference-group analysis are memoized per
+process, so the points of one kernel share that work across allocators
+and budgets exactly like the serial harnesses' single
+``evaluate_kernel`` call did.
+
+:func:`code_version` fingerprints the ``repro`` source tree so cached
+results are invalidated whenever any library code changes — the "code
+version" half of the cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from pathlib import Path
+
+import repro
+from repro.analysis.groups import RefGroup, build_groups
+from repro.core.pipeline import allocator_by_name
+from repro.errors import ReproError
+from repro.explore.query import DesignQuery, DesignRecord
+from repro.ir.kernel import Kernel
+from repro.synth.estimate import build_design
+
+__all__ = ["evaluate_query", "code_version"]
+
+
+@lru_cache(maxsize=64)
+def _kernel_and_groups(
+    kernel_name: str, kernel_json: "str | None"
+) -> "tuple[Kernel, tuple[RefGroup, ...]]":
+    """Build a query's kernel and its reference groups once per process."""
+    kernel = DesignQuery(
+        kernel=kernel_name, allocator="NO-SR", budget=1,
+        kernel_json=kernel_json,
+    ).build_kernel()
+    return kernel, build_groups(kernel)
+
+
+def evaluate_query(query: DesignQuery) -> DesignRecord:
+    """Run the full pipeline for one design point.
+
+    Domain errors (:class:`~repro.errors.ReproError`) become failed
+    records so one infeasible point does not abort a whole sweep.
+    """
+    try:
+        kernel, groups = _kernel_and_groups(query.kernel, query.kernel_json)
+        device = query.build_device()
+        allocator = allocator_by_name(query.allocator)
+        allocation = allocator.allocate(kernel, query.budget, groups)
+        design = build_design(
+            kernel,
+            allocation,
+            groups=groups,
+            device=device,
+            model=query.latency.to_model(),
+            ram_ports=query.ram_ports or None,
+            overhead_per_iteration=query.overhead,
+        )
+    except ReproError as exc:
+        return DesignRecord.failed(query, exc)
+    return DesignRecord.from_design(query, design, device)
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Stable fingerprint of every ``repro/**/*.py`` source file."""
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]

@@ -1,0 +1,164 @@
+"""Parallel, cache-aware sweep execution.
+
+The :class:`Executor` fans design-point evaluation out over a
+:class:`concurrent.futures.ProcessPoolExecutor` with chunked scheduling
+(one IPC round-trip amortized over several points), consulting an
+optional :class:`~repro.explore.cache.ResultCache` first so resumed
+sweeps only evaluate the missing points.  ``jobs=1`` runs inline in the
+calling process — same results, no pool, and the mode the adapters in
+:mod:`repro.bench` default to.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.explore.cache import ResultCache
+from repro.explore.evaluate import evaluate_query
+from repro.explore.query import DesignQuery, DesignRecord
+from repro.explore.results import ResultSet
+from repro.explore.space import ExplorationSpace
+
+__all__ = ["Executor", "ExploreStats", "run_queries"]
+
+
+@dataclass(frozen=True)
+class ExploreStats:
+    """Accounting for one sweep: where every record came from."""
+
+    total: int
+    evaluated: int
+    cache_hits: int
+    failures: int
+    seconds: float
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} points: {self.evaluated} evaluated, "
+            f"{self.cache_hits} cache hits ({self.hit_rate:.0%}), "
+            f"{self.failures} infeasible, {self.seconds:.2f}s"
+        )
+
+
+class Executor:
+    """Runs design queries, in parallel, through an optional cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 evaluates inline (deterministically equal —
+        evaluation itself is pure, so parallelism never changes results).
+    cache:
+        A :class:`ResultCache`, a cache directory path, or None.
+    reuse_cache:
+        When True (the default) cached records short-circuit evaluation;
+        when False every point is re-evaluated (and re-written to the
+        cache) — the CLI maps ``--resume`` onto this flag.
+    chunksize:
+        Points per worker task; default splits the pending work into
+        about four chunks per job.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: "ResultCache | Path | str | None" = None,
+        reuse_cache: bool = True,
+        chunksize: "int | None" = None,
+    ):
+        if jobs < 1:
+            raise ReproError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.reuse_cache = reuse_cache
+        self.chunksize = chunksize
+
+    def run(
+        self,
+        space: "ExplorationSpace | Iterable[DesignQuery]",
+        progress: "Callable[[int, int], None] | None" = None,
+    ) -> ResultSet:
+        """Evaluate every point of ``space`` (or an explicit query list)."""
+        if isinstance(space, ExplorationSpace):
+            queries: Sequence[DesignQuery] = space.expand()
+        else:
+            queries = list(space)
+        started = time.perf_counter()
+
+        records: dict[int, DesignRecord] = {}
+        hits = 0
+        pending: list[tuple[int, DesignQuery]] = []
+        for index, query in enumerate(queries):
+            cached = (
+                self.cache.get(query)
+                if (self.cache is not None and self.reuse_cache)
+                else None
+            )
+            if cached is not None:
+                records[index] = cached
+                hits += 1
+            else:
+                pending.append((index, query))
+
+        done = len(records)
+        if progress:
+            progress(done, len(queries))
+        for index, record in self._evaluate(pending):
+            records[index] = record
+            if self.cache is not None:
+                self.cache.put(record)
+            done += 1
+            if progress:
+                progress(done, len(queries))
+
+        ordered = tuple(records[i] for i in range(len(queries)))
+        stats = ExploreStats(
+            total=len(queries),
+            evaluated=len(pending),
+            cache_hits=hits,
+            failures=sum(1 for r in ordered if not r.ok),
+            seconds=time.perf_counter() - started,
+        )
+        return ResultSet(ordered, stats)
+
+    def _evaluate(
+        self, pending: "list[tuple[int, DesignQuery]]"
+    ) -> "Iterable[tuple[int, DesignRecord]]":
+        if not pending:
+            return
+        if self.jobs == 1:
+            for index, query in pending:
+                yield index, evaluate_query(query)
+            return
+        chunksize = self.chunksize or max(
+            1, len(pending) // (self.jobs * 4) or 1
+        )
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            results = pool.map(
+                evaluate_query,
+                [query for _, query in pending],
+                chunksize=chunksize,
+            )
+            for (index, _), record in zip(pending, results):
+                yield index, record
+
+
+def run_queries(
+    queries: "Iterable[DesignQuery]",
+    jobs: int = 1,
+    cache: "ResultCache | Path | str | None" = None,
+    reuse_cache: bool = True,
+) -> ResultSet:
+    """One-call convenience wrapper around :class:`Executor`."""
+    return Executor(jobs=jobs, cache=cache, reuse_cache=reuse_cache).run(queries)

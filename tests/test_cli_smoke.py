@@ -1,0 +1,103 @@
+"""CLI smoke tests: every subcommand through ``main(argv)``.
+
+Each test asserts exit code 0 plus load-bearing substrings in captured
+stdout — cheap insurance that argument wiring, imports and renderers
+stay hooked together.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_table1(capsys):
+    code, out, _ = run_cli(capsys, "table1")
+    assert code == 0
+    assert "Table 1 (reproduced)" in out
+    assert "Aggregates:" in out
+    for kernel in ("fir", "decfir", "mat", "imi", "pat", "bic"):
+        assert kernel in out
+
+
+def test_kernel_trace(capsys):
+    code, out, _ = run_cli(capsys, "kernel", "fir", "--trace")
+    assert code == 0
+    assert "fir under a 64-register budget" in out
+    assert "CPA-RA decision trace:" in out
+    assert "baseline: 1 register" in out
+
+
+def test_vhdl(capsys):
+    code, out, _ = run_cli(capsys, "vhdl", "fir")
+    assert code == 0
+    assert "entity fir_cpa_ra is" in out
+    assert "end architecture behavioral;" in out
+
+
+def test_figure2(capsys):
+    code, out, _ = run_cli(capsys, "figure2")
+    assert code == 0
+    assert "Figure 2(c), reproduced" in out
+
+
+def test_list(capsys):
+    code, out, _ = run_cli(capsys, "list")
+    assert code == 0
+    assert "fir" in out and "bic" in out
+    assert "CPA-RA" in out and "KS-RA" in out
+    assert "xcv1000-bg560" in out
+
+
+def test_explore_table(capsys, tmp_path):
+    argv = (
+        "explore", "--kernels", "fir", "--allocators", "FR-RA", "PR-RA",
+        "--budgets", "8", "16", "--jobs", "1",
+        "--cache-dir", str(tmp_path / "cache"), "--resume",
+    )
+    code, out, err = run_cli(capsys, *argv)
+    assert code == 0
+    assert "explored 4 design points" in out
+    assert "PR-RA" in out
+    assert "4 points: 4 evaluated, 0 cache hits" in err
+
+    # Resumed run: everything from cache, zero re-evaluations.
+    code, out, err = run_cli(capsys, *argv)
+    assert code == 0
+    assert "0 evaluated, 4 cache hits (100%)" in err
+
+
+def test_explore_json(capsys):
+    code, out, _ = run_cli(
+        capsys, "explore", "--kernels", "mat", "--allocators", "NO-SR",
+        "--budgets", "8", "--format", "json",
+    )
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["stats"]["total"] == 1
+    assert doc["records"][0]["query"]["kernel"] == "mat"
+    assert doc["records"][0]["cycles"] > 0
+
+
+def test_explore_csv(capsys):
+    code, out, _ = run_cli(
+        capsys, "explore", "--kernels", "mat", "--allocators", "NO-SR",
+        "--budgets", "8", "--format", "csv",
+    )
+    assert code == 0
+    header, row = out.splitlines()[:2]
+    assert header.startswith("kernel,allocator,budget")
+    assert row.startswith("mat,NO-SR,8")
+
+
+def test_unknown_command_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["frobnicate"])
+    assert excinfo.value.code != 0

@@ -1,0 +1,149 @@
+"""The sweep refactor must not move a single number.
+
+``budget_sweep``/``latency_sweep``/``policy_comparison`` and
+``generate_table1`` now route through :mod:`repro.explore`; these tests
+pin them point-for-point against the seed's serial loops (reimplemented
+inline from the pre-refactor code) on the fir and mat kernels — including
+under ``jobs=2``, where results must be bit-identical to serial.
+"""
+
+import pytest
+
+from repro.bench import budget_sweep, generate_table1, latency_sweep
+from repro.bench.sweeps import BudgetPoint, policy_comparison
+from repro.core.pipeline import evaluate_kernel
+from repro.dfg.latency import LatencyModel
+from repro.kernels import build_fir, build_mat
+
+ALGORITHMS = ("FR-RA", "PR-RA", "CPA-RA")
+
+
+@pytest.fixture(scope="module", params=["fir", "mat"])
+def kernel(request):
+    if request.param == "fir":
+        return build_fir(n=32, taps=8)
+    return build_mat(n=6)
+
+
+# -- seed-faithful serial references (pre-refactor code, inlined) ----------
+
+def serial_budget_sweep(kernel, budgets, algorithms=ALGORITHMS, model=None):
+    points = []
+    for budget in budgets:
+        result = evaluate_kernel(
+            kernel, budget=budget, algorithms=algorithms, model=model
+        )
+        for algorithm in algorithms:
+            design = result.design(algorithm)
+            points.append(
+                BudgetPoint(
+                    budget=budget,
+                    algorithm=algorithm,
+                    cycles=design.total_cycles,
+                    wall_clock_us=design.wall_clock_us,
+                    total_registers=design.allocation.total_registers,
+                )
+            )
+    return points
+
+
+def serial_latency_sweep(kernel, latencies, budget, algorithms=ALGORITHMS):
+    out = {}
+    for latency in latencies:
+        model = LatencyModel.realistic(ram_latency=latency)
+        result = evaluate_kernel(
+            kernel, budget=budget, algorithms=algorithms, model=model
+        )
+        out[latency] = {
+            algorithm: result.design(algorithm).total_cycles
+            for algorithm in algorithms
+        }
+    return out
+
+
+def serial_policy_comparison(kernel, budget, algorithms):
+    result = evaluate_kernel(kernel, budget=budget, algorithms=algorithms)
+    naive = result.design("NO-SR").cycles.total_ram_accesses
+    out = {}
+    for algorithm in algorithms:
+        design = result.design(algorithm)
+        accesses = design.cycles.total_ram_accesses
+        out[algorithm] = (naive - accesses, design.total_cycles)
+    return out
+
+
+# -- equivalence ----------------------------------------------------------
+
+def test_budget_sweep_matches_serial(kernel):
+    budgets = [4, 8, 16]
+    expected = serial_budget_sweep(kernel, budgets)
+    assert budget_sweep(kernel, budgets) == expected
+    assert budget_sweep(kernel, budgets, jobs=2) == expected
+
+
+def test_latency_sweep_matches_serial(kernel):
+    latencies = [1, 4]
+    expected = serial_latency_sweep(kernel, latencies, budget=8)
+    assert latency_sweep(kernel, latencies, budget=8) == expected
+    assert latency_sweep(kernel, latencies, budget=8, jobs=2) == expected
+
+
+def test_budget_sweep_custom_model_matches_serial(kernel):
+    """Custom LatencyModels (pre-refactor capability) still work."""
+    from repro.ir.expr import Op
+
+    custom = LatencyModel(op_latency={op: 2 for op in Op}, ram_latency=4)
+    expected = serial_budget_sweep(kernel, [8, 16], model=custom)
+    assert budget_sweep(kernel, [8, 16], model=custom) == expected
+
+
+def test_latency_sweep_rejects_zero_latency(kernel):
+    """L=0 fails loudly, exactly like the serial version did."""
+    from repro.errors import AnalysisError
+
+    with pytest.raises(AnalysisError):
+        latency_sweep(kernel, [0, 1], budget=8)
+
+
+def test_policy_comparison_matches_serial(kernel):
+    algorithms = ("FR-RA", "PR-RA", "CPA-RA", "KS-RA", "NO-SR")
+    expected = serial_policy_comparison(kernel, 16, algorithms)
+    assert policy_comparison(kernel, budget=16, algorithms=algorithms) == expected
+    assert (
+        policy_comparison(kernel, budget=16, algorithms=algorithms, jobs=2)
+        == expected
+    )
+
+
+def test_table1_matches_serial_reference():
+    """Table 1 rows through the engine equal direct pipeline evaluation."""
+    kernels = [build_fir(n=32, taps=8), build_mat(n=6)]
+    table = generate_table1(budget=16, kernels=kernels)
+    parallel = generate_table1(budget=16, kernels=kernels, jobs=2)
+    assert table == parallel
+
+    for kernel in kernels:
+        result = evaluate_kernel(kernel, budget=16)
+        baseline = result.baseline
+        for row in table.rows_for(kernel.name):
+            design = result.design(row.algorithm)
+            assert row.cycles == design.total_cycles
+            assert row.time_us == design.wall_clock_us
+            assert row.clock_ns == design.clock_ns
+            assert row.slices == design.slices
+            assert row.ram_blocks == design.ram_blocks
+            assert row.total_registers == design.allocation.total_registers
+            assert row.distribution == design.allocation.distribution()
+            assert row.speedup == design.speedup_over(baseline)
+            assert row.cycle_reduction_pct == pytest.approx(
+                design.cycle_reduction_vs(baseline) * 100
+            )
+
+
+def test_sweep_through_cache_matches_serial(kernel, tmp_path):
+    """A cached re-run returns the same points as the fresh run."""
+    budgets = [8, 16]
+    cache = tmp_path / "cache"
+    fresh = budget_sweep(kernel, budgets, cache=cache)
+    resumed = budget_sweep(kernel, budgets, cache=cache)
+    assert fresh == resumed == serial_budget_sweep(kernel, budgets)
