@@ -52,9 +52,10 @@ def _records(
     queries: "list[DesignQuery]",
     jobs: int,
     cache: "ResultCache | Path | str | None",
+    batch: bool = True,
 ) -> "list[DesignRecord]":
     """Run queries through the engine; re-raise the first failure."""
-    results = Executor(jobs=jobs, cache=cache).run(queries)
+    results = Executor(jobs=jobs, cache=cache, batch=batch).run(queries)
     for record in results:
         record.raise_error()
     return list(results)
@@ -67,6 +68,7 @@ def budget_sweep(
     model: LatencyModel | None = None,
     jobs: int = 1,
     cache: "ResultCache | Path | str | None" = None,
+    batch: bool = True,
 ) -> list[BudgetPoint]:
     """Cycles/wall-clock versus register budget (ablation A1)."""
     if not budgets or not algorithms:
@@ -90,7 +92,9 @@ def budget_sweep(
             wall_clock_us=record.wall_clock_us,
             total_registers=record.total_registers,
         )
-        for query, record in zip(queries, _records(queries, jobs, cache))
+        for query, record in zip(
+            queries, _records(queries, jobs, cache, batch)
+        )
     ]
 
 
@@ -101,6 +105,7 @@ def latency_sweep(
     algorithms: tuple[str, ...] = ("FR-RA", "PR-RA", "CPA-RA"),
     jobs: int = 1,
     cache: "ResultCache | Path | str | None" = None,
+    batch: bool = True,
 ) -> dict[int, dict[str, int]]:
     """Cycle counts versus RAM access latency (ablation A2).
 
@@ -124,7 +129,7 @@ def latency_sweep(
         for algorithm in algorithms
     ]
     out: dict[int, dict[str, int]] = {latency: {} for latency in latencies}
-    for query, record in zip(queries, _records(queries, jobs, cache)):
+    for query, record in zip(queries, _records(queries, jobs, cache, batch)):
         out[query.latency.ram_latency][query.allocator] = record.cycles
     return out
 
@@ -136,6 +141,7 @@ def policy_comparison(
     model: LatencyModel | None = None,
     jobs: int = 1,
     cache: "ResultCache | Path | str | None" = None,
+    batch: bool = True,
 ) -> dict[str, tuple[int, int]]:
     """(saved RAM accesses, cycles) per allocator (ablation A3).
 
@@ -153,7 +159,7 @@ def policy_comparison(
     queries = [
         replace(proto, allocator=algorithm) for algorithm in algorithms
     ]
-    records = dict(zip(algorithms, _records(queries, jobs, cache)))
+    records = dict(zip(algorithms, _records(queries, jobs, cache, batch)))
     naive = records.get("NO-SR")
     naive_accesses = naive.total_ram_accesses if naive is not None else None
     out: dict[str, tuple[int, int]] = {}

@@ -119,7 +119,12 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         ram_ports=(args.ram_ports,),
     )
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    executor = Executor(jobs=args.jobs, cache=cache, reuse_cache=args.resume)
+    executor = Executor(
+        jobs=args.jobs,
+        cache=cache,
+        reuse_cache=args.resume,
+        batch=not args.no_batch,
+    )
     results = executor.run(space)
     if args.format == "json":
         print(results.to_json())
@@ -213,7 +218,12 @@ def main(argv: "list[str] | None" = None) -> int:
                            help="on-disk result cache directory")
     p_explore.add_argument(
         "--resume", action="store_true",
-        help="reuse cached results, evaluating only missing points",
+        help="reuse cached results, evaluating only missing/stale points",
+    )
+    p_explore.add_argument(
+        "--no-batch", action="store_true",
+        help="disable batched steady-state evaluation (reference path; "
+        "results are bit-identical either way)",
     )
     p_explore.add_argument("--format", default="table",
                            choices=("table", "json", "csv"))

@@ -5,10 +5,14 @@ The engine behind every multi-point experiment in the repo: declare an
 models x devices x RAM ports), expand it to hashable
 :class:`DesignQuery` points, and hand it to an :class:`Executor` that
 evaluates points in parallel worker processes through an on-disk
-:class:`ResultCache` (keyed by config hash + code version, so repeated
-and resumed sweeps skip completed work).  The returned :class:`ResultSet`
-supports filtering, grouping, Pareto-frontier queries and JSON/CSV
-export.
+:class:`ResultCache`.  Cache entries are keyed by config hash and
+guarded by per-module *version vectors* (:mod:`repro.explore.versions`),
+so a resumed sweep after a source edit re-runs only the points whose
+dependency cone changed.  Evaluation defaults to the batched
+steady-state path (:mod:`repro.explore.batch`) — bit-identical to the
+per-iteration reference, measurably faster.  The returned
+:class:`ResultSet` supports filtering, grouping, Pareto-frontier
+queries and JSON/CSV export.
 
 Quickstart::
 
@@ -23,14 +27,28 @@ See ``docs/explore.md`` for the full API, the cache layout and the
 ``repro explore`` CLI.
 """
 
-from repro.explore.cache import ResultCache
+from repro.explore.batch import (
+    BatchMismatch,
+    compare_batched,
+    iteration_classes,
+    verify_batch_equivalence,
+)
+from repro.explore.cache import CacheCorruptionWarning, ResultCache
 from repro.explore.evaluate import code_version, evaluate_query
 from repro.explore.executor import Executor, ExploreStats, run_queries
 from repro.explore.query import DesignQuery, DesignRecord, LatencySpec
 from repro.explore.results import ResultSet
 from repro.explore.space import ExplorationSpace
+from repro.explore.versions import (
+    VersionRegistry,
+    default_registry,
+    query_roots,
+    query_vector,
+)
 
 __all__ = [
+    "BatchMismatch",
+    "CacheCorruptionWarning",
     "DesignQuery",
     "DesignRecord",
     "ExplorationSpace",
@@ -39,7 +57,14 @@ __all__ = [
     "LatencySpec",
     "ResultCache",
     "ResultSet",
+    "VersionRegistry",
     "code_version",
+    "compare_batched",
+    "default_registry",
     "evaluate_query",
+    "iteration_classes",
+    "query_roots",
+    "query_vector",
     "run_queries",
+    "verify_batch_equivalence",
 ]

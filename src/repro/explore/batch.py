@@ -1,0 +1,103 @@
+"""Batched iteration evaluation: the explore-layer API and its audit.
+
+The batched evaluation path classifies a kernel's iterations into
+steady-state and boundary pattern classes and evaluates each class once
+with a multiplier instead of interpreting every iteration:
+
+* window (rotating-register) references run the row-memoized Belady
+  trace (:func:`repro.sim.residency.opt_trace` with a ``row_len``) —
+  boundary rows at the start and truncated-future rows at the end are
+  simulated exactly, steady-state rows replay a recorded trace;
+* pinned (invariant) references rank one representative region per
+  shift-normalized region class and stamp the result across the class
+  (:meth:`repro.scalar.coverage.GroupCoverage`);
+* the cycle counter schedules each distinct joint hit/miss pattern once
+  and weights it by its iteration count (as before).
+
+Everything downstream is **bit-identical** to the unbatched reference
+path — same :class:`~repro.explore.query.DesignRecord`, same cache
+entries.  This module provides the audit tooling that keeps that claim
+pinned: :func:`compare_batched` diffs one query's batched and unbatched
+records field by field, and :func:`verify_batch_equivalence` sweeps a
+whole query list (the acceptance test and the fuzz suite drive both).
+
+``batch=`` passthroughs: :class:`~repro.explore.executor.Executor`,
+:func:`~repro.explore.evaluate.evaluate_query`,
+:func:`repro.bench.sweeps.budget_sweep` / ``latency_sweep`` /
+``policy_comparison``, :func:`repro.bench.table1.generate_table1`, and
+``repro explore --no-batch`` on the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.explore.evaluate import evaluate_query
+from repro.explore.query import DesignQuery, DesignRecord
+
+__all__ = [
+    "BatchMismatch",
+    "compare_batched",
+    "verify_batch_equivalence",
+    "iteration_classes",
+]
+
+
+@dataclass(frozen=True)
+class BatchMismatch:
+    """One field where the batched record diverged from the reference."""
+
+    query: DesignQuery
+    field: str
+    batched: Any
+    unbatched: Any
+
+    def describe(self) -> str:
+        return (
+            f"{self.query.describe()}: {self.field} "
+            f"batched={self.batched!r} != unbatched={self.unbatched!r}"
+        )
+
+
+def compare_batched(query: DesignQuery) -> list[BatchMismatch]:
+    """Evaluate ``query`` both ways; list every differing record field."""
+    batched = evaluate_query(query, batch=True)
+    unbatched = evaluate_query(query, batch=False)
+    mismatches: list[BatchMismatch] = []
+    for field in dataclasses.fields(DesignRecord):
+        if field.name == "query":
+            continue
+        left = getattr(batched, field.name)
+        right = getattr(unbatched, field.name)
+        if left != right:
+            mismatches.append(BatchMismatch(query, field.name, left, right))
+    return mismatches
+
+
+def verify_batch_equivalence(
+    queries: "Iterable[DesignQuery]",
+) -> list[BatchMismatch]:
+    """All mismatches over a query list (empty = bit-identical sweep)."""
+    mismatches: list[BatchMismatch] = []
+    for query in queries:
+        mismatches.extend(compare_batched(query))
+    return mismatches
+
+
+def iteration_classes(
+    query: DesignQuery, batch: bool = True
+) -> tuple[tuple[tuple[str, ...], int, int], ...]:
+    """The joint hit/miss pattern classes of one design point.
+
+    Each entry is ``(miss events, iteration count, cycles per
+    iteration)`` — the classification the batched path evaluates once
+    per class.  A steady-state-dominated kernel shows one large class
+    plus small boundary classes.  Raises the point's original error for
+    infeasible queries.
+    """
+    from repro.explore.evaluate import design_for
+
+    design, _ = design_for(query, batch=batch)
+    return design.cycles.pattern_counts

@@ -3,62 +3,143 @@
 Layout (one JSON file per design point)::
 
     <root>/
-      <code_version>/            # repro source fingerprint, 16 hex chars
-        <query_digest>.json      # {"version", "query", "record"}
+      <query_digest>.json    # {"format", "versions", "query", "record"}
 
-Keying every entry by *query digest x code version* makes the cache both
-resumable (a re-run skips completed points) and self-invalidating (any
-library change lands results in a fresh version directory, so stale
-numbers are never replayed).  Writes are atomic (temp file + rename) so
-concurrent sweeps sharing a cache directory cannot corrupt entries.
+Each entry is keyed by the query's content digest and guarded by the
+*version vector* of the modules its evaluation can reach (see
+:mod:`repro.explore.versions`): on read, every recorded ``module: hash``
+pair must still match the current source tree, so an edit anywhere in a
+point's dependency cone makes exactly that point stale — and an edit
+outside it (``codegen/``, ``bench/``, another kernel's builder) leaves
+the entry valid.  Writes are atomic (temp file + rename) so concurrent
+sweeps sharing a cache directory cannot corrupt entries.
+
+Damaged entries (truncated writes, garbage bytes, schema drift) are
+treated as misses but *surfaced*: a :class:`CacheCorruptionWarning`
+names the offending path instead of silently re-evaluating.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 
-from repro.explore.evaluate import code_version
 from repro.explore.query import DesignQuery, DesignRecord
+from repro.explore.versions import VersionRegistry, default_registry, query_vector
 
-__all__ = ["ResultCache"]
+__all__ = ["ResultCache", "CacheCorruptionWarning", "ENTRY_FORMAT"]
+
+#: Schema version of cache entries; bump on incompatible layout changes.
+ENTRY_FORMAT = 2
+
+
+class CacheCorruptionWarning(UserWarning):
+    """A cache entry existed but could not be decoded."""
 
 
 class ResultCache:
-    """A directory of cached :class:`DesignRecord` documents."""
+    """A directory of cached :class:`DesignRecord` documents.
 
-    def __init__(self, root: "Path | str", version: "str | None" = None):
+    ``registry`` selects the source tree the version vectors are hashed
+    against; tests point it at a copied tree to exercise real
+    edit-then-resume flows.  By default the two directions differ on
+    purpose:
+
+    * **lookups** validate against a fresh registry rebuilt by
+      :meth:`refresh` — which the executor calls at the start of every
+      run — so a long-lived process (REPL, notebook) notices source
+      edits made between sweeps and marks dependents stale;
+    * **writes** record the process-wide :func:`default_registry`
+      hashes, snapshotted when ``repro.explore`` was imported — the
+      fingerprint of the code actually *loaded* in this process.  After
+      an in-process edit, re-evaluated points still run the old imported
+      modules; stamping them with the edited files' hashes would launder
+      stale results as current.  Recording the as-loaded hashes keeps
+      those entries stale until a fresh process re-evaluates them with
+      the new code.
+    """
+
+    def __init__(
+        self, root: "Path | str", registry: "VersionRegistry | None" = None
+    ):
         self.root = Path(root)
-        self.version = version or code_version()
+        self.registry = registry or VersionRegistry()
+        self._put_registry = registry or default_registry()
 
-    @property
-    def version_dir(self) -> Path:
-        return self.root / self.version
+    def refresh(self) -> None:
+        """Re-read the source tree for subsequent lookups.
+
+        Rebuilds the lookup registry over the same root, dropping its
+        cached hashes, so edits made since the last sweep are observed
+        even when the cache (or its executor) instance is reused.  The
+        write-side registry is deliberately untouched — it fingerprints
+        the loaded code, not the current disk state.
+        """
+        self.registry = VersionRegistry(
+            self.registry.root, self.registry.package
+        )
 
     def path_for(self, query: DesignQuery) -> Path:
-        return self.version_dir / f"{query.digest()}.json"
+        return self.root / f"{query.digest()}.json"
 
-    def get(self, query: DesignQuery) -> "DesignRecord | None":
-        """The cached record for ``query``, or None (also on any damage)."""
+    def lookup(self, query: DesignQuery) -> "tuple[DesignRecord | None, str]":
+        """``(record, status)`` with status in hit/miss/stale/corrupt.
+
+        * ``miss`` — no entry on disk;
+        * ``corrupt`` — an entry exists but cannot be decoded (warned);
+        * ``stale`` — decodes, but some module in its recorded version
+          vector has changed (or the entry predates vector keying);
+        * ``hit`` — decodes and every recorded module hash still matches.
+        """
         path = self.path_for(query)
         try:
-            doc = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None
-        if doc.get("version") != self.version:
-            return None
+            raw = path.read_text()
+        except OSError:
+            return None, "miss"
         try:
-            return DesignRecord.from_dict(doc["record"])
-        except (KeyError, TypeError, ValueError):
-            return None
+            doc = json.loads(raw)
+            if not isinstance(doc, dict):
+                raise TypeError("entry is not a JSON object")
+            if doc.get("format") != ENTRY_FORMAT:
+                return None, "stale"
+            versions = doc["versions"]
+            if not isinstance(versions, dict):
+                raise TypeError("entry's version vector is not an object")
+            record = DesignRecord.from_dict(doc["record"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            warnings.warn(
+                f"ignoring corrupted cache entry {path}: {exc}",
+                CacheCorruptionWarning,
+                stacklevel=2,
+            )
+            return None, "corrupt"
+        if not self._current(versions):
+            return None, "stale"
+        return record, "hit"
+
+    def _current(self, versions: dict[str, str]) -> bool:
+        known = self.registry.modules()
+        for module, digest in versions.items():
+            if module not in known:
+                return False  # a dependency was deleted or renamed
+            if self.registry.module_hash(module) != digest:
+                return False
+        return bool(versions)
+
+    def get(self, query: DesignQuery) -> "DesignRecord | None":
+        """The cached record for ``query``, or None on miss/stale/corrupt."""
+        record, _ = self.lookup(query)
+        return record
 
     def put(self, record: DesignRecord) -> Path:
         """Atomically persist ``record``; returns the entry path."""
         path = self.path_for(record.query)
         path.parent.mkdir(parents=True, exist_ok=True)
         doc = {
-            "version": self.version,
+            "format": ENTRY_FORMAT,
+            "versions": query_vector(record.query, self._put_registry),
             "query": record.query.key(),
             "record": record.to_dict(),
         }
@@ -68,15 +149,19 @@ class ResultCache:
         return path
 
     def __len__(self) -> int:
-        if not self.version_dir.is_dir():
+        if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.version_dir.glob("*.json"))
+        return sum(1 for _ in self.root.rglob("*.json"))
 
     def clear(self) -> int:
-        """Delete this code version's entries; returns how many."""
+        """Delete every entry (including legacy per-version
+        subdirectory entries from format-1 caches); returns how many."""
         removed = 0
-        if self.version_dir.is_dir():
-            for path in self.version_dir.glob("*.json"):
+        if self.root.is_dir():
+            for path in self.root.rglob("*.json"):
                 path.unlink()
                 removed += 1
+            for sub in self.root.iterdir():
+                if sub.is_dir() and not any(sub.iterdir()):
+                    sub.rmdir()
         return removed

@@ -10,26 +10,31 @@ process, so the points of one kernel share that work across allocators
 and budgets exactly like the serial harnesses' single
 ``evaluate_kernel`` call did.
 
-:func:`code_version` fingerprints the ``repro`` source tree so cached
-results are invalidated whenever any library code changes — the "code
-version" half of the cache key.
+``batch=True`` (the default) routes the cycle count through the
+steady-state/boundary batched path (see :mod:`repro.explore.batch`);
+``batch=False`` runs the reference per-iteration path.  Both produce
+bit-identical records, so the cache is shared between them.
+
+This module is also the root of the cache's dependency cone: the
+version vector a cache entry records is the transitive import closure
+of *this* module (plus the query's kernel and allocator modules) — see
+:mod:`repro.explore.versions`.
 """
 
 from __future__ import annotations
 
-import hashlib
 from functools import lru_cache
-from pathlib import Path
 
-import repro
 from repro.analysis.groups import RefGroup, build_groups
 from repro.core.pipeline import allocator_by_name
 from repro.errors import ReproError
 from repro.explore.query import DesignQuery, DesignRecord
+from repro.hw.device import Device
 from repro.ir.kernel import Kernel
+from repro.synth.design import HardwareDesign
 from repro.synth.estimate import build_design
 
-__all__ = ["evaluate_query", "code_version"]
+__all__ = ["design_for", "evaluate_query", "code_version"]
 
 
 @lru_cache(maxsize=64)
@@ -44,39 +49,49 @@ def _kernel_and_groups(
     return kernel, build_groups(kernel)
 
 
-def evaluate_query(query: DesignQuery) -> DesignRecord:
+def design_for(
+    query: DesignQuery, batch: bool = True
+) -> "tuple[HardwareDesign, Device]":
+    """The fully evaluated design of one query (raises on domain errors).
+
+    The single authoritative query -> pipeline translation; everything
+    that evaluates a query (records, pattern-class reports) goes through
+    it so new pipeline parameters cannot silently diverge between
+    callers.
+    """
+    kernel, groups = _kernel_and_groups(query.kernel, query.kernel_json)
+    device = query.build_device()
+    allocator = allocator_by_name(query.allocator)
+    allocation = allocator.allocate(kernel, query.budget, groups)
+    design = build_design(
+        kernel,
+        allocation,
+        groups=groups,
+        device=device,
+        model=query.latency.to_model(),
+        ram_ports=query.ram_ports or None,
+        overhead_per_iteration=query.overhead,
+        batch=batch,
+    )
+    return design, device
+
+
+def evaluate_query(query: DesignQuery, batch: bool = True) -> DesignRecord:
     """Run the full pipeline for one design point.
 
     Domain errors (:class:`~repro.errors.ReproError`) become failed
     records so one infeasible point does not abort a whole sweep.
     """
     try:
-        kernel, groups = _kernel_and_groups(query.kernel, query.kernel_json)
-        device = query.build_device()
-        allocator = allocator_by_name(query.allocator)
-        allocation = allocator.allocate(kernel, query.budget, groups)
-        design = build_design(
-            kernel,
-            allocation,
-            groups=groups,
-            device=device,
-            model=query.latency.to_model(),
-            ram_ports=query.ram_ports or None,
-            overhead_per_iteration=query.overhead,
-        )
+        design, device = design_for(query, batch=batch)
     except ReproError as exc:
         return DesignRecord.failed(query, exc)
     return DesignRecord.from_design(query, design, device)
 
 
-@lru_cache(maxsize=1)
 def code_version() -> str:
-    """Stable fingerprint of every ``repro/**/*.py`` source file."""
-    root = Path(repro.__file__).resolve().parent
-    digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
-        digest.update(path.relative_to(root).as_posix().encode())
-        digest.update(b"\0")
-        digest.update(path.read_bytes())
-        digest.update(b"\0")
-    return digest.hexdigest()[:16]
+    """Stable whole-tree fingerprint (kept for back-compat; see
+    :func:`repro.explore.versions.code_version`)."""
+    from repro.explore.versions import code_version as whole_tree
+
+    return whole_tree()

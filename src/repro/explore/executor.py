@@ -7,6 +7,11 @@ optional :class:`~repro.explore.cache.ResultCache` first so resumed
 sweeps only evaluate the missing points.  ``jobs=1`` runs inline in the
 calling process — same results, no pool, and the mode the adapters in
 :mod:`repro.bench` default to.
+
+Cache entries are guarded by per-point version vectors (see
+:mod:`repro.explore.versions`): a resumed sweep after a source edit
+re-evaluates only the points whose dependency cone changed, and
+:class:`ExploreStats` reports them as ``stale`` instead of plain misses.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
@@ -36,6 +42,7 @@ class ExploreStats:
     cache_hits: int
     failures: int
     seconds: float
+    stale: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -45,6 +52,7 @@ class ExploreStats:
         return (
             f"{self.total} points: {self.evaluated} evaluated, "
             f"{self.cache_hits} cache hits ({self.hit_rate:.0%}), "
+            f"{self.stale} stale, "
             f"{self.failures} infeasible, {self.seconds:.2f}s"
         )
 
@@ -66,6 +74,10 @@ class Executor:
     chunksize:
         Points per worker task; default splits the pending work into
         about four chunks per job.
+    batch:
+        Evaluate through the batched steady-state/boundary path (the
+        default).  Batched and unbatched records are bit-identical, so
+        they share the cache; ``--no-batch`` maps onto this flag.
     """
 
     def __init__(
@@ -74,6 +86,7 @@ class Executor:
         cache: "ResultCache | Path | str | None" = None,
         reuse_cache: bool = True,
         chunksize: "int | None" = None,
+        batch: bool = True,
     ):
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
@@ -83,6 +96,7 @@ class Executor:
         self.cache = cache
         self.reuse_cache = reuse_cache
         self.chunksize = chunksize
+        self.batch = batch
 
     def run(
         self,
@@ -98,13 +112,17 @@ class Executor:
 
         records: dict[int, DesignRecord] = {}
         hits = 0
+        stale = 0
         pending: list[tuple[int, DesignQuery]] = []
+        if self.cache is not None and self.reuse_cache:
+            # Observe any source edits made since the previous run, even
+            # when this executor instance is reused in one process.
+            self.cache.refresh()
         for index, query in enumerate(queries):
-            cached = (
-                self.cache.get(query)
-                if (self.cache is not None and self.reuse_cache)
-                else None
-            )
+            cached = None
+            if self.cache is not None and self.reuse_cache:
+                cached, status = self.cache.lookup(query)
+                stale += status == "stale"
             if cached is not None:
                 records[index] = cached
                 hits += 1
@@ -129,6 +147,7 @@ class Executor:
             cache_hits=hits,
             failures=sum(1 for r in ordered if not r.ok),
             seconds=time.perf_counter() - started,
+            stale=stale,
         )
         return ResultSet(ordered, stats)
 
@@ -137,16 +156,17 @@ class Executor:
     ) -> "Iterable[tuple[int, DesignRecord]]":
         if not pending:
             return
+        evaluate = partial(evaluate_query, batch=self.batch)
         if self.jobs == 1:
             for index, query in pending:
-                yield index, evaluate_query(query)
+                yield index, evaluate(query)
             return
         chunksize = self.chunksize or max(
             1, len(pending) // (self.jobs * 4) or 1
         )
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             results = pool.map(
-                evaluate_query,
+                evaluate,
                 [query for _, query in pending],
                 chunksize=chunksize,
             )
@@ -159,6 +179,9 @@ def run_queries(
     jobs: int = 1,
     cache: "ResultCache | Path | str | None" = None,
     reuse_cache: bool = True,
+    batch: bool = True,
 ) -> ResultSet:
     """One-call convenience wrapper around :class:`Executor`."""
-    return Executor(jobs=jobs, cache=cache, reuse_cache=reuse_cache).run(queries)
+    return Executor(
+        jobs=jobs, cache=cache, reuse_cache=reuse_cache, batch=batch
+    ).run(queries)

@@ -83,11 +83,19 @@ def count_cycles(
     overhead_per_iteration: int = 0,
     dfg: DataFlowGraph | None = None,
     anchors: "dict[str, str] | None" = None,
+    batch: bool = True,
+    coverages: "dict[str, GroupCoverage] | None" = None,
 ) -> CycleReport:
     """Count execution cycles of ``kernel`` under ``allocation``.
 
     ``anchors`` optionally overrides the pinned-coverage anchor per group
     (see :meth:`GroupCoverage.result`); defaults to ``"low"``.
+
+    ``batch`` selects the steady-state/boundary batched coverage paths
+    (bit-identical to the reference paths; see
+    :class:`~repro.scalar.coverage.GroupCoverage`), and ``coverages``
+    optionally shares pre-built coverage computers across repeated
+    counts of the same design point (the pipeline's anchor search).
     """
     dfg = dfg or build_dfg(kernel, groups)
     anchors = anchors or {}
@@ -99,7 +107,10 @@ def count_cycles(
     writebacks = 0
     ram_accesses: dict[str, int] = {}
     for group in groups:
-        coverage = GroupCoverage(kernel, group)
+        if coverages is not None and group.name in coverages:
+            coverage = coverages[group.name]
+        else:
+            coverage = GroupCoverage(kernel, group, batch=batch)
         result = coverage.result(
             allocation.registers_for(group.name),
             anchor=anchors.get(group.name, "low"),

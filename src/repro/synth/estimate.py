@@ -50,6 +50,7 @@ def build_design(
     model: LatencyModel | None = None,
     ram_ports: int | None = None,
     overhead_per_iteration: int = 1,
+    batch: bool = True,
 ) -> HardwareDesign:
     """Evaluate one (kernel, allocation) design point.
 
@@ -59,13 +60,17 @@ def build_design(
     operator latencies, one FSM cycle of control overhead per iteration.
     The Figure 2(c) benchmarks override ``model`` with
     :meth:`LatencyModel.tmem` and zero overhead.
+
+    ``batch`` selects the steady-state/boundary batched evaluation paths
+    (the default); results are bit-identical either way — ``batch=False``
+    is the reference path the fuzz suite differences against.
     """
     groups = groups if groups is not None else build_groups(kernel)
     model = model or LatencyModel.realistic(ram_latency=2)
     ram_ports = ram_ports if ram_ports is not None else device.bram_ports
     dfg = build_dfg(kernel, groups)
 
-    coverages = {g.name: GroupCoverage(kernel, g) for g in groups}
+    coverages = {g.name: GroupCoverage(kernel, g, batch=batch) for g in groups}
     storage_class = {
         g.name: classify_operand_storage(
             g, coverages[g.name], allocation.registers_for(g.name)
@@ -85,6 +90,7 @@ def build_design(
         dfg,
         coverages,
         storage_class,
+        batch,
     )
 
     timing = estimate_clock(
@@ -124,6 +130,7 @@ def _count_with_best_anchors(
     dfg,
     coverages,
     storage_class,
+    batch=True,
 ):
     """Coverage-placement pass: choose pinned anchors minimizing cycles.
 
@@ -157,6 +164,8 @@ def _count_with_best_anchors(
             overhead_per_iteration=overhead_per_iteration,
             dfg=dfg,
             anchors=anchors,
+            batch=batch,
+            coverages=coverages,
         )
         if best is None or report.total_cycles < best.total_cycles:
             best = report

@@ -1,0 +1,141 @@
+"""Random affine kernel generator for property/fuzz tests.
+
+Generates small, always-valid kernels: random nest depth and loop
+bounds, random affine references (invariant scalars, sliding windows
+with random strides and offsets — i.e. random reuse distances — and
+multi-dimensional mixes), and an accumulator-style output.  Array
+extents are derived from each subscript's maximum value, so every
+generated kernel passes :func:`repro.ir.validate.validate_kernel` by
+construction.
+
+Everything is seeded: ``random_case(seed)`` is deterministic, so a
+failing case is reproducible from its test id alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.analysis.groups import RefGroup, build_groups
+from repro.ir import INT16, INT32, Kernel, KernelBuilder
+
+__all__ = ["FuzzCase", "random_kernel", "random_case", "random_stream"]
+
+#: Iteration-space ceiling: big enough for multi-row steady states,
+#: small enough that a hundred cases stay interactive.
+MAX_SPACE = 400
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated scenario: a kernel, its groups and a feasible budget."""
+
+    seed: int
+    kernel: Kernel
+    groups: tuple[RefGroup, ...]
+    budget: int
+
+
+def _random_bounds(rng: random.Random) -> list[int]:
+    depth = rng.choice((1, 2, 2, 2, 3))
+    while True:
+        bounds = [rng.randint(2, 10) for _ in range(depth)]
+        space = 1
+        for bound in bounds:
+            space *= bound
+        if space <= MAX_SPACE:
+            return bounds
+
+
+def _random_subscript(rng: random.Random, loops, bounds):
+    """A random affine expression over the loop handles, plus its max value.
+
+    Coefficients favour 0/1 (invariance and plain windows) with an
+    occasional 2 (strided windows); a random offset shifts the reuse
+    distance.
+    """
+    expr = None
+    high = 0
+    for handle, bound in zip(loops, bounds):
+        coeff = rng.choice((0, 0, 1, 1, 1, 2))
+        if coeff == 0:
+            continue
+        term = handle * coeff  # always an AffineIndex, so sums compose
+        expr = term if expr is None else expr + term
+        high += coeff * (bound - 1)
+    offset = rng.randint(0, 3)
+    if expr is None:
+        expr = offset
+        # a constant subscript: a genuinely loop-invariant scalar load
+    elif offset:
+        expr = expr + offset
+    return expr, high + offset
+
+
+def random_kernel(seed: int) -> Kernel:
+    """A small random affine kernel (deterministic per seed)."""
+    rng = random.Random(seed)
+    bounds = _random_bounds(rng)
+    builder = KernelBuilder(f"fuzz{seed}", f"random kernel, seed {seed}")
+    loops = [builder.loop(f"i{d}", bound) for d, bound in enumerate(bounds)]
+
+    value = None
+    for index in range(rng.randint(1, 3)):
+        dims = rng.choice((1, 1, 1, 2))
+        subscripts, extents = [], []
+        for _ in range(dims):
+            expr, high = _random_subscript(rng, loops, bounds)
+            subscripts.append(expr)
+            extents.append(high + 1)
+        handle = builder.array(f"a{index}", tuple(extents), INT16)
+        load = handle[tuple(subscripts)] if dims > 1 else handle[subscripts[0]]
+        if value is None:
+            value = load
+        elif rng.random() < 0.5:
+            value = value + load
+        else:
+            value = value * load
+
+    # Accumulator-style output indexed by a prefix of the loops, so the
+    # write is invariant in the remaining (inner) loops.
+    out_depth = rng.randint(1, len(loops))
+    out_shape = tuple(bound for bound in bounds[:out_depth])
+    out = builder.array("y", out_shape, INT32, role="output")
+    target_index = tuple(loops[:out_depth])
+    target = out[target_index] if out_depth > 1 else out[target_index[0]]
+    builder.assign(target, target + value)
+    return builder.build()
+
+
+def random_case(seed: int) -> FuzzCase:
+    """A kernel plus a feasible budget drawn from [floor, floor+betas]."""
+    kernel = random_kernel(seed)
+    groups = build_groups(kernel)
+    rng = random.Random(seed ^ 0x5EED)
+    floor = len(groups)
+    betas = sum(group.full_registers for group in groups)
+    budget = rng.randint(floor, max(floor, min(floor + betas, 64)))
+    return FuzzCase(seed=seed, kernel=kernel, groups=groups, budget=budget)
+
+
+def random_stream(seed: int) -> "tuple[list[int], int, int]":
+    """A random address stream plus (capacity, row_len) for trace fuzzing.
+
+    ``row_len`` always divides the stream length; small address ranges
+    force heavy reuse and eviction traffic.
+    """
+    rng = random.Random(seed)
+    rows = rng.randint(1, 12)
+    row_len = rng.randint(1, 12)
+    span = rng.randint(1, 10)
+    shift = rng.choice((0, 0, 1, 1, 2, -1))
+    addresses = []
+    base = rng.randint(0, 5)
+    for row in range(rows):
+        start = base + shift * row
+        addresses.extend(
+            max(0, start + rng.randint(0, span)) for _ in range(row_len)
+        )
+    capacity = rng.randint(0, 6)
+    return addresses, capacity, row_len

@@ -14,7 +14,6 @@ from repro.explore import (
     LatencySpec,
     ResultCache,
     ResultSet,
-    code_version,
     evaluate_query,
 )
 from repro.hw.device import XCV300
@@ -178,29 +177,71 @@ class TestCache:
     def test_roundtrip(self, tmp_path):
         cache = ResultCache(tmp_path)
         query = self.query()
-        assert cache.get(query) is None
+        assert cache.lookup(query) == (None, "miss")
         record = evaluate_query(query)
         path = cache.put(record)
-        assert path.parent.name == code_version()
-        assert cache.get(query) == record
+        assert path.parent == tmp_path
+        assert cache.lookup(query) == (record, "hit")
         assert len(cache) == 1
         assert cache.clear() == 1
         assert cache.get(query) is None
 
-    def test_version_partitions_entries(self, tmp_path):
+    def test_entry_records_dependency_cone_versions(self, tmp_path):
+        cache = ResultCache(tmp_path)
         query = self.query()
-        record = evaluate_query(query)
-        old = ResultCache(tmp_path, version="0ld")
-        old.put(record)
-        assert ResultCache(tmp_path, version="n3w").get(query) is None
-        assert old.get(query) == record
+        path = cache.put(evaluate_query(query))
+        versions = json.loads(path.read_text())["versions"]
+        assert "repro.explore.evaluate" in versions
+        assert "repro.sim.cycles" in versions
+        assert not any("codegen" in module for module in versions)
+        assert not any("bench" in module for module in versions)
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_stale_version_vector_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        query = self.query()
+        path = cache.put(evaluate_query(query))
+        doc = json.loads(path.read_text())
+        module = sorted(doc["versions"])[0]
+        doc["versions"][module] = "0" * 12
+        path.write_text(json.dumps(doc))
+        assert cache.lookup(query) == (None, "stale")
+
+    def test_corrupt_entry_is_a_warned_miss(self, tmp_path):
+        from repro.explore import CacheCorruptionWarning
+
         cache = ResultCache(tmp_path)
         query = self.query()
         cache.put(evaluate_query(query))
-        cache.path_for(query).write_text("{not json")
-        assert cache.get(query) is None
+        path = cache.path_for(query)
+        entry = path.read_text()
+        # garbage bytes, valid-but-wrong-shape JSON, truncation, and a
+        # non-object version vector all warn and miss, never raise
+        for garbage in (
+            "{not json",
+            "[]",
+            entry[: len(entry) // 2],
+            '{"format": 2, "versions": "oops", "record": {}}',
+        ):
+            path.write_text(garbage)
+            with pytest.warns(CacheCorruptionWarning, match=r"\.json"):
+                record, status = cache.lookup(query)
+            assert record is None and status == "corrupt"
+
+    def test_fresh_registry_per_cache_instance(self, tmp_path):
+        # A long-lived process must observe source edits made between
+        # sweeps, so each cache builds its own registry by default.
+        assert ResultCache(tmp_path).registry is not ResultCache(tmp_path).registry
+
+    def test_len_and_clear_cover_legacy_subdir_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(evaluate_query(self.query()))
+        legacy = tmp_path / "0123456789abcdef"
+        legacy.mkdir()
+        (legacy / "deadbeef.json").write_text("{}")
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert not legacy.exists()
+        assert len(cache) == 0
 
     def test_failed_records_cache_too(self, tmp_path):
         cache = ResultCache(tmp_path)

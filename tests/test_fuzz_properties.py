@@ -1,0 +1,170 @@
+"""Property/fuzz tests: allocator invariants over random affine kernels.
+
+Each seed builds a random kernel (see :mod:`fuzz_kernels`) and asserts,
+at a feasible random budget:
+
+* every allocator allocates without error at/above the mandatory floor;
+* NO-SR is the RAM-access worst case, and every allocator's cycle count
+  is no worse than NO-SR's (scalar replacement only removes accesses);
+* the exact knapsack saves at least as many accesses as the greedy
+  full-reuse allocator (same 0/1 decision space, DP optimum);
+* KS-RA's knapsack objective dominates every allocator's fully-replaced
+  set (each such set is a feasible 0/1 solution);
+* the batched evaluation path is bit-identical to the reference path:
+  coverage masks per group, the whole cycle report, and (sampled) the
+  full design record.
+
+The Belady row-memoized trace is additionally fuzzed directly on random
+address streams, including row lengths that do not match any steady
+state.
+"""
+
+import numpy as np
+import pytest
+
+from fuzz_kernels import random_case, random_kernel, random_stream
+from repro.core.pipeline import allocator_by_name
+from repro.dfg.latency import LatencyModel
+from repro.scalar.coverage import GroupCoverage
+from repro.sim.cycles import count_cycles
+from repro.sim.residency import opt_trace
+from repro.synth.estimate import build_design
+
+ALGORITHMS = ("FR-RA", "PR-RA", "CPA-RA", "KS-RA", "NO-SR")
+SEEDS = range(120)
+MODEL = LatencyModel.realistic(ram_latency=2)
+
+
+def _reports(case, batch):
+    reports = {}
+    for algorithm in ALGORITHMS:
+        allocation = allocator_by_name(algorithm).allocate(
+            case.kernel, case.budget, case.groups
+        )
+        reports[algorithm] = (
+            allocation,
+            count_cycles(
+                case.kernel, case.groups, allocation, MODEL,
+                overhead_per_iteration=1, batch=batch,
+            ),
+        )
+    return reports
+
+
+def _full_set_objective(allocation, groups) -> int:
+    return sum(
+        group.full_saved
+        for group in groups
+        if group.has_reuse
+        and allocation.registers_for(group.name) >= group.full_registers
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzz_allocator_invariants(seed):
+    case = random_case(seed)
+    reports = _reports(case, batch=True)
+    naive_alloc, naive = reports["NO-SR"]
+
+    assert _full_set_objective(naive_alloc, case.groups) == 0
+    ks_objective = _full_set_objective(reports["KS-RA"][0], case.groups)
+    for algorithm, (allocation, report) in reports.items():
+        assert allocation.total_registers <= case.budget, (
+            f"seed {seed}: {algorithm} overflowed the budget"
+        )
+        # NO-SR worst case: replacement only ever removes RAM accesses.
+        assert report.total_ram_accesses <= naive.total_ram_accesses, (
+            f"seed {seed}: {algorithm} performs more RAM accesses than NO-SR"
+        )
+        assert report.total_cycles <= naive.total_cycles, (
+            f"seed {seed}: {algorithm} is slower than NO-SR"
+        )
+        # KS-RA objective dominance over every feasible 0/1 full set.
+        assert ks_objective >= _full_set_objective(allocation, case.groups), (
+            f"seed {seed}: KS-RA objective beaten by {algorithm}"
+        )
+
+    saved_ks = (
+        naive.total_ram_accesses - reports["KS-RA"][1].total_ram_accesses
+    )
+    saved_fr = (
+        naive.total_ram_accesses - reports["FR-RA"][1].total_ram_accesses
+    )
+    assert saved_ks >= saved_fr, (
+        f"seed {seed}: knapsack saved {saved_ks} < greedy's {saved_fr}"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzz_batched_equals_unbatched(seed):
+    case = random_case(seed)
+    batched = _reports(case, batch=True)
+    reference = _reports(case, batch=False)
+    for algorithm in ALGORITHMS:
+        allocation, report = batched[algorithm]
+        _, expected = reference[algorithm]
+        assert report == expected, (
+            f"seed {seed}: {algorithm} batched cycle report diverged"
+        )
+        # Coverage masks are the ground the report stands on — compare
+        # them directly too, at the allocated register counts.
+        for group in case.groups:
+            registers = allocation.registers_for(group.name)
+            for anchor in ("low", "high"):
+                fast = GroupCoverage(case.kernel, group, batch=True).result(
+                    registers, anchor=anchor
+                )
+                slow = GroupCoverage(case.kernel, group, batch=False).result(
+                    registers, anchor=anchor
+                )
+                assert np.array_equal(fast.read_miss, slow.read_miss)
+                assert np.array_equal(fast.write_miss, slow.write_miss)
+                assert fast.writeback_stores == slow.writeback_stores
+                if fast.window_inserted is not None:
+                    assert np.array_equal(
+                        fast.window_inserted, slow.window_inserted
+                    )
+                    assert np.array_equal(
+                        fast.window_evicted, slow.window_evicted
+                    )
+                    assert np.array_equal(fast.window_freed, slow.window_freed)
+
+
+@pytest.mark.parametrize("seed", range(0, 120, 10))
+def test_fuzz_full_design_batched_equals_unbatched(seed):
+    """End-to-end spot checks: whole HardwareDesign metrics, both paths."""
+    case = random_case(seed)
+    for algorithm in ("CPA-RA", "PR-RA"):
+        allocation = allocator_by_name(algorithm).allocate(
+            case.kernel, case.budget, case.groups
+        )
+        fast = build_design(
+            case.kernel, allocation, groups=case.groups, batch=True
+        )
+        slow = build_design(
+            case.kernel, allocation, groups=case.groups, batch=False
+        )
+        assert fast.cycles == slow.cycles
+        assert fast.total_cycles == slow.total_cycles
+        assert fast.clock_ns == slow.clock_ns
+        assert fast.wall_clock_us == slow.wall_clock_us
+        assert fast.slices == slow.slices
+
+
+def test_fuzz_generator_is_deterministic():
+    for seed in (0, 7, 42):
+        assert random_kernel(seed) == random_kernel(seed)
+        assert random_case(seed).budget == random_case(seed).budget
+
+
+def test_fuzz_opt_trace_row_memoization():
+    """Row-batched Belady is bit-identical on 200 random streams."""
+    for seed in range(200):
+        addresses, capacity, row_len = random_stream(seed)
+        stream = np.asarray(addresses, dtype=np.int64)
+        plain = opt_trace(stream, capacity)
+        rowed = opt_trace(stream, capacity, row_len=row_len)
+        for left, right in zip(plain, rowed):
+            assert np.array_equal(left, right), (
+                f"stream seed {seed} (capacity {capacity}, row {row_len})"
+            )
