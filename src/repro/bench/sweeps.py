@@ -53,9 +53,17 @@ def _records(
     jobs: int,
     cache: "ResultCache | Path | str | None",
     batch: bool = True,
+    chunksize: "int | None" = None,
 ) -> "list[DesignRecord]":
-    """Run queries through the engine; re-raise the first failure."""
-    results = Executor(jobs=jobs, cache=cache, batch=batch).run(queries)
+    """Run queries through the engine; re-raise the first failure.
+
+    Crashed points re-raise too (original exception type, worker
+    traceback appended), so the harnesses stay loud about programming
+    errors even though the engine itself never aborts a sweep.
+    """
+    results = Executor(
+        jobs=jobs, cache=cache, batch=batch, chunksize=chunksize
+    ).run(queries)
     for record in results:
         record.raise_error()
     return list(results)
@@ -69,6 +77,7 @@ def budget_sweep(
     jobs: int = 1,
     cache: "ResultCache | Path | str | None" = None,
     batch: bool = True,
+    chunksize: "int | None" = None,
 ) -> list[BudgetPoint]:
     """Cycles/wall-clock versus register budget (ablation A1)."""
     if not budgets or not algorithms:
@@ -93,7 +102,7 @@ def budget_sweep(
             total_registers=record.total_registers,
         )
         for query, record in zip(
-            queries, _records(queries, jobs, cache, batch)
+            queries, _records(queries, jobs, cache, batch, chunksize)
         )
     ]
 
@@ -106,6 +115,7 @@ def latency_sweep(
     jobs: int = 1,
     cache: "ResultCache | Path | str | None" = None,
     batch: bool = True,
+    chunksize: "int | None" = None,
 ) -> dict[int, dict[str, int]]:
     """Cycle counts versus RAM access latency (ablation A2).
 
@@ -129,7 +139,9 @@ def latency_sweep(
         for algorithm in algorithms
     ]
     out: dict[int, dict[str, int]] = {latency: {} for latency in latencies}
-    for query, record in zip(queries, _records(queries, jobs, cache, batch)):
+    for query, record in zip(
+        queries, _records(queries, jobs, cache, batch, chunksize)
+    ):
         out[query.latency.ram_latency][query.allocator] = record.cycles
     return out
 
@@ -142,6 +154,7 @@ def policy_comparison(
     jobs: int = 1,
     cache: "ResultCache | Path | str | None" = None,
     batch: bool = True,
+    chunksize: "int | None" = None,
 ) -> dict[str, tuple[int, int]]:
     """(saved RAM accesses, cycles) per allocator (ablation A3).
 
@@ -159,7 +172,9 @@ def policy_comparison(
     queries = [
         replace(proto, allocator=algorithm) for algorithm in algorithms
     ]
-    records = dict(zip(algorithms, _records(queries, jobs, cache, batch)))
+    records = dict(
+        zip(algorithms, _records(queries, jobs, cache, batch, chunksize))
+    )
     naive = records.get("NO-SR")
     naive_accesses = naive.total_ram_accesses if naive is not None else None
     out: dict[str, tuple[int, int]] = {}

@@ -80,6 +80,7 @@ def generate_table1(
     jobs: int = 1,
     cache: "ResultCache | Path | str | None" = None,
     batch: bool = True,
+    chunksize: "int | None" = None,
 ) -> Table1:
     """Run the full evaluation and collect Table 1."""
     kernels = kernels if kernels is not None else paper_kernels()
@@ -96,7 +97,9 @@ def generate_table1(
         for proto in protos
         for algorithm in PAPER_VERSIONS
     ]
-    results = Executor(jobs=jobs, cache=cache, batch=batch).run(queries)
+    results = Executor(
+        jobs=jobs, cache=cache, batch=batch, chunksize=chunksize
+    ).run(queries)
     for record in results:
         record.raise_error()
 

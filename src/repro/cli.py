@@ -95,6 +95,16 @@ def _cmd_vhdl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_spec(text: str) -> "tuple[int, int]":
+    from repro.errors import ReproError
+    from repro.explore.shard import parse_shard
+
+    try:
+        return parse_shard(text)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def _ram_latency(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -119,11 +129,15 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         ram_ports=(args.ram_ports,),
     )
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    # A populated cache directory is there to be reused: --cache-dir
+    # implies resume semantics, and --fresh forces re-evaluation.
+    reuse = (cache is not None or args.resume) and not args.fresh
     executor = Executor(
         jobs=args.jobs,
         cache=cache,
-        reuse_cache=args.resume,
+        reuse_cache=reuse,
         batch=not args.no_batch,
+        shard=args.shard,
     )
     results = executor.run(space)
     if args.format == "json":
@@ -131,9 +145,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     elif args.format == "csv":
         sys.stdout.write(results.to_csv())
     else:
-        print(results.render(
-            title=f"explored {space.size} design points"
-        ))
+        title = f"explored {len(results)} design points"
+        if args.shard:
+            title += f" (shard {args.shard[0]}/{args.shard[1]} of {space.size})"
+        print(results.render(title=title))
     print(f"explore: {results.stats.summary()}", file=sys.stderr)
     return 0
 
@@ -215,10 +230,25 @@ def main(argv: "list[str] | None" = None) -> int:
     p_explore.add_argument("--jobs", type=int, default=1,
                            help="worker processes (1 = inline)")
     p_explore.add_argument("--cache-dir", default=None,
-                           help="on-disk result cache directory")
-    p_explore.add_argument(
+                           help="on-disk result cache directory (implies "
+                           "reuse of cached results; see --fresh)")
+    freshness = p_explore.add_mutually_exclusive_group()
+    freshness.add_argument(
         "--resume", action="store_true",
-        help="reuse cached results, evaluating only missing/stale points",
+        help="reuse cached results, evaluating only missing/stale points "
+        "(the default whenever --cache-dir is given)",
+    )
+    freshness.add_argument(
+        "--fresh", action="store_true",
+        help="re-evaluate every point even when cached (entries are "
+        "rewritten)",
+    )
+    p_explore.add_argument(
+        "--shard", default=None, metavar="I/N", type=_shard_spec,
+        help="evaluate only this digest-stable shard of the space "
+        "(e.g. 1/4); independent machines sharing --cache-dir each run "
+        "one shard, then an unsharded run stitches the full result set "
+        "from cache",
     )
     p_explore.add_argument(
         "--no-batch", action="store_true",

@@ -5,7 +5,10 @@ The engine behind every multi-point experiment in the repo: declare an
 models x devices x RAM ports), expand it to hashable
 :class:`DesignQuery` points, and hand it to an :class:`Executor` that
 evaluates points in parallel worker processes through an on-disk
-:class:`ResultCache`.  Cache entries are keyed by config hash and
+:class:`ResultCache`.  Sweeps are fault-tolerant (an unexpected worker
+exception becomes a crash record, never an aborted sweep), scheduled by
+a per-point cost model (:mod:`repro.explore.schedule`), and shardable
+across machines (:mod:`repro.explore.shard`).  Cache entries are keyed by config hash and
 guarded by per-module *version vectors* (:mod:`repro.explore.versions`),
 so a resumed sweep after a source edit re-runs only the points whose
 dependency cone changed.  Evaluation defaults to the batched
@@ -34,10 +37,16 @@ from repro.explore.batch import (
     verify_batch_equivalence,
 )
 from repro.explore.cache import CacheCorruptionWarning, ResultCache
-from repro.explore.evaluate import code_version, evaluate_query
+from repro.explore.evaluate import (
+    code_version,
+    evaluate_query,
+    evaluate_query_safe,
+)
 from repro.explore.executor import Executor, ExploreStats, run_queries
 from repro.explore.query import DesignQuery, DesignRecord, LatencySpec
 from repro.explore.results import ResultSet
+from repro.explore.schedule import CostModel, plan_chunks, static_cost
+from repro.explore.shard import parse_shard, shard_index, shard_queries
 from repro.explore.space import ExplorationSpace
 from repro.explore.versions import (
     VersionRegistry,
@@ -49,6 +58,7 @@ from repro.explore.versions import (
 __all__ = [
     "BatchMismatch",
     "CacheCorruptionWarning",
+    "CostModel",
     "DesignQuery",
     "DesignRecord",
     "ExplorationSpace",
@@ -62,9 +72,15 @@ __all__ = [
     "compare_batched",
     "default_registry",
     "evaluate_query",
+    "evaluate_query_safe",
     "iteration_classes",
+    "parse_shard",
+    "plan_chunks",
     "query_roots",
     "query_vector",
     "run_queries",
+    "shard_index",
+    "shard_queries",
+    "static_cost",
     "verify_batch_equivalence",
 ]

@@ -3,7 +3,13 @@
 Layout (one JSON file per design point)::
 
     <root>/
-      <query_digest>.json    # {"format", "versions", "query", "record"}
+      <query_digest>.json    # {"format", "versions", "query", "record",
+                             #  "seconds"}
+
+``seconds`` is the point's measured evaluation wall time — envelope
+bookkeeping (like ``versions``), not part of the record's identity: it
+feeds the cost model in :mod:`repro.explore.schedule` and is reattached
+to the record on lookup.
 
 Each entry is keyed by the query's content digest and guarded by the
 *version vector* of the modules its evaluation can reach (see
@@ -21,6 +27,7 @@ names the offending path instead of silently re-evaluating.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import warnings
@@ -108,6 +115,9 @@ class ResultCache:
             if not isinstance(versions, dict):
                 raise TypeError("entry's version vector is not an object")
             record = DesignRecord.from_dict(doc["record"])
+            seconds = doc.get("seconds")
+            if isinstance(seconds, (int, float)):
+                record = dataclasses.replace(record, seconds=float(seconds))
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
             warnings.warn(
                 f"ignoring corrupted cache entry {path}: {exc}",
@@ -142,6 +152,7 @@ class ResultCache:
             "versions": query_vector(record.query, self._put_registry),
             "query": record.query.key(),
             "record": record.to_dict(),
+            "seconds": record.seconds,
         }
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(doc, indent=2, sort_keys=True))

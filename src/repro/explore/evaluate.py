@@ -3,7 +3,11 @@
 :func:`evaluate_query` is a module-level function so it pickles cleanly
 into :class:`concurrent.futures.ProcessPoolExecutor` workers.  Expected
 domain failures (infeasible budgets, unknown names) come back as failed
-records; programming errors propagate.
+records; programming errors propagate.  :func:`evaluate_query_safe` — the
+executor's actual work unit — additionally converts *unexpected*
+exceptions into crash records (traceback attached) and stamps every
+record with its evaluation wall time, so one bad point can never abort
+a sweep or discard its siblings' results.
 
 Kernel construction and reference-group analysis are memoized per
 process, so the points of one kernel share that work across allocators
@@ -23,6 +27,8 @@ of *this* module (plus the query's kernel and allocator modules) — see
 
 from __future__ import annotations
 
+import time
+from dataclasses import replace
 from functools import lru_cache
 
 from repro.analysis.groups import RefGroup, build_groups
@@ -34,7 +40,12 @@ from repro.ir.kernel import Kernel
 from repro.synth.design import HardwareDesign
 from repro.synth.estimate import build_design
 
-__all__ = ["design_for", "evaluate_query", "code_version"]
+__all__ = [
+    "design_for",
+    "evaluate_query",
+    "evaluate_query_safe",
+    "code_version",
+]
 
 
 @lru_cache(maxsize=64)
@@ -87,6 +98,24 @@ def evaluate_query(query: DesignQuery, batch: bool = True) -> DesignRecord:
     except ReproError as exc:
         return DesignRecord.failed(query, exc)
     return DesignRecord.from_design(query, design, device)
+
+
+def evaluate_query_safe(query: DesignQuery, batch: bool = True) -> DesignRecord:
+    """Like :func:`evaluate_query`, but crash-proof and timed.
+
+    Unexpected (non-:class:`~repro.errors.ReproError`) exceptions become
+    *crash* records carrying the full worker traceback instead of
+    propagating out of a process pool and aborting the sweep.  The
+    returned record's ``seconds`` holds the evaluation wall time, which
+    the cache persists and the cost model
+    (:mod:`repro.explore.schedule`) learns from.
+    """
+    started = time.perf_counter()
+    try:
+        record = evaluate_query(query, batch=batch)
+    except Exception as exc:  # noqa: BLE001 — the whole point
+        record = DesignRecord.crashed(query, exc)
+    return replace(record, seconds=time.perf_counter() - started)
 
 
 def code_version() -> str:

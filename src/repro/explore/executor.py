@@ -1,12 +1,30 @@
-"""Parallel, cache-aware sweep execution.
+"""Parallel, cache-aware, fault-tolerant sweep execution.
 
 The :class:`Executor` fans design-point evaluation out over a
-:class:`concurrent.futures.ProcessPoolExecutor` with chunked scheduling
-(one IPC round-trip amortized over several points), consulting an
-optional :class:`~repro.explore.cache.ResultCache` first so resumed
-sweeps only evaluate the missing points.  ``jobs=1`` runs inline in the
-calling process — same results, no pool, and the mode the adapters in
+:class:`concurrent.futures.ProcessPoolExecutor`, consulting an optional
+:class:`~repro.explore.cache.ResultCache` first so resumed sweeps only
+evaluate the missing points.  ``jobs=1`` runs inline in the calling
+process — same results, no pool, and the mode the adapters in
 :mod:`repro.bench` default to.
+
+Three properties make sweeps production-shaped:
+
+* **fault tolerance** — every point evaluates through
+  :func:`~repro.explore.evaluate.evaluate_query_safe`, so an unexpected
+  worker exception becomes a *crash* record (traceback attached,
+  counted in :attr:`ExploreStats.errors`) instead of aborting the sweep
+  and discarding completed-but-unconsumed results.  Completed points
+  still reach the cache; crash records are deliberately *not* cached,
+  so a resumed run retries them.
+* **cost-model scheduling** — pending points are packed into balanced
+  chunks by longest-processing-time-first over per-point cost estimates
+  (:mod:`repro.explore.schedule`), fitted from cached timings with
+  static priors for cold starts.  An explicit ``chunksize`` opts back
+  into fixed consecutive chunks.
+* **sharding** — ``shard=(i, N)`` (or ``"i/N"``) restricts a run to a
+  deterministic, digest-stable subset of the space
+  (:mod:`repro.explore.shard`), so independent machines sharing a cache
+  directory split a sweep and a final unsharded resume stitches it.
 
 Cache entries are guarded by per-point version vectors (see
 :mod:`repro.explore.versions`): a resumed sweep after a source edit
@@ -17,17 +35,18 @@ re-evaluates only the points whose dependency cone changed, and
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from functools import partial
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import ReproError
 from repro.explore.cache import ResultCache
-from repro.explore.evaluate import evaluate_query
+from repro.explore.evaluate import evaluate_query_safe
 from repro.explore.query import DesignQuery, DesignRecord
 from repro.explore.results import ResultSet
+from repro.explore.schedule import CostModel, plan_chunks
+from repro.explore.shard import parse_shard, shard_queries
 from repro.explore.space import ExplorationSpace
 
 __all__ = ["Executor", "ExploreStats", "run_queries"]
@@ -35,7 +54,13 @@ __all__ = ["Executor", "ExploreStats", "run_queries"]
 
 @dataclass(frozen=True)
 class ExploreStats:
-    """Accounting for one sweep: where every record came from."""
+    """Accounting for one sweep: where every record came from.
+
+    ``failures`` counts domain-infeasible points (expected, cached);
+    ``errors`` counts crashed points (unexpected worker exceptions,
+    never cached); ``corrupt`` counts cache entries that existed but
+    could not be decoded (each also warned as it was read).
+    """
 
     total: int
     evaluated: int
@@ -43,6 +68,8 @@ class ExploreStats:
     failures: int
     seconds: float
     stale: int = 0
+    corrupt: int = 0
+    errors: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -52,9 +79,17 @@ class ExploreStats:
         return (
             f"{self.total} points: {self.evaluated} evaluated, "
             f"{self.cache_hits} cache hits ({self.hit_rate:.0%}), "
-            f"{self.stale} stale, "
-            f"{self.failures} infeasible, {self.seconds:.2f}s"
+            f"{self.stale} stale, {self.corrupt} corrupt, "
+            f"{self.failures} infeasible, {self.errors} crashed, "
+            f"{self.seconds:.2f}s"
         )
+
+
+def _evaluate_chunk(
+    queries: "list[DesignQuery]", batch: bool
+) -> "list[DesignRecord]":
+    """Worker task: evaluate one chunk, crash-proof, one IPC round trip."""
+    return [evaluate_query_safe(query, batch=batch) for query in queries]
 
 
 class Executor:
@@ -70,14 +105,20 @@ class Executor:
     reuse_cache:
         When True (the default) cached records short-circuit evaluation;
         when False every point is re-evaluated (and re-written to the
-        cache) — the CLI maps ``--resume`` onto this flag.
+        cache) — the CLI maps ``--fresh`` onto disabling this flag.
     chunksize:
-        Points per worker task; default splits the pending work into
-        about four chunks per job.
+        Points per worker task (>= 1).  By default the pending points
+        are instead packed into balanced chunks (about four per job) by
+        the cost model; an explicit value forces fixed consecutive
+        chunks of that size.
     batch:
         Evaluate through the batched steady-state/boundary path (the
         default).  Batched and unbatched records are bit-identical, so
         they share the cache; ``--no-batch`` maps onto this flag.
+    shard:
+        ``(index, count)`` or ``"index/count"``: evaluate only this
+        run's digest-stable share of the space (1-based).  None (the
+        default) runs the whole space.
     """
 
     def __init__(
@@ -87,9 +128,12 @@ class Executor:
         reuse_cache: bool = True,
         chunksize: "int | None" = None,
         batch: bool = True,
+        shard: "tuple[int, int] | str | None" = None,
     ):
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
+        if chunksize is not None and chunksize < 1:
+            raise ReproError(f"chunksize must be >= 1, got {chunksize}")
         self.jobs = jobs
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
@@ -97,23 +141,34 @@ class Executor:
         self.reuse_cache = reuse_cache
         self.chunksize = chunksize
         self.batch = batch
+        self.shard = parse_shard(shard) if shard is not None else None
 
     def run(
         self,
         space: "ExplorationSpace | Iterable[DesignQuery]",
         progress: "Callable[[int, int], None] | None" = None,
     ) -> ResultSet:
-        """Evaluate every point of ``space`` (or an explicit query list)."""
+        """Evaluate every point of ``space`` (or an explicit query list).
+
+        With a ``shard``, only this shard's points are evaluated and
+        returned; the other shards' points are simply absent from the
+        result (not failures), so a shared cache accumulates the full
+        space across machines.
+        """
         if isinstance(space, ExplorationSpace):
             queries: Sequence[DesignQuery] = space.expand()
         else:
             queries = list(space)
+        if self.shard is not None:
+            queries = shard_queries(queries, *self.shard)
         started = time.perf_counter()
 
         records: dict[int, DesignRecord] = {}
         hits = 0
         stale = 0
+        corrupt = 0
         pending: list[tuple[int, DesignQuery]] = []
+        timings: list[tuple[DesignQuery, float]] = []
         if self.cache is not None and self.reuse_cache:
             # Observe any source edits made since the previous run, even
             # when this executor instance is reused in one process.
@@ -123,18 +178,23 @@ class Executor:
             if self.cache is not None and self.reuse_cache:
                 cached, status = self.cache.lookup(query)
                 stale += status == "stale"
+                corrupt += status == "corrupt"
             if cached is not None:
                 records[index] = cached
                 hits += 1
+                if cached.seconds is not None:
+                    timings.append((query, cached.seconds))
             else:
                 pending.append((index, query))
 
         done = len(records)
         if progress:
             progress(done, len(queries))
-        for index, record in self._evaluate(pending):
+        for index, record in self._evaluate(pending, timings):
             records[index] = record
-            if self.cache is not None:
+            # Crash records are never cached: the failure may be
+            # transient (OOM, a since-fixed bug), so resumes retry them.
+            if self.cache is not None and not record.crash:
                 self.cache.put(record)
             done += 1
             if progress:
@@ -145,33 +205,70 @@ class Executor:
             total=len(queries),
             evaluated=len(pending),
             cache_hits=hits,
-            failures=sum(1 for r in ordered if not r.ok),
+            failures=sum(1 for r in ordered if not r.ok and not r.crash),
             seconds=time.perf_counter() - started,
             stale=stale,
+            corrupt=corrupt,
+            errors=sum(1 for r in ordered if r.crash),
         )
         return ResultSet(ordered, stats)
 
     def _evaluate(
-        self, pending: "list[tuple[int, DesignQuery]]"
+        self,
+        pending: "list[tuple[int, DesignQuery]]",
+        timings: "list[tuple[DesignQuery, float]] | None" = None,
     ) -> "Iterable[tuple[int, DesignRecord]]":
         if not pending:
             return
-        evaluate = partial(evaluate_query, batch=self.batch)
         if self.jobs == 1:
             for index, query in pending:
-                yield index, evaluate(query)
+                yield index, evaluate_query_safe(query, batch=self.batch)
             return
-        chunksize = self.chunksize or max(
-            1, len(pending) // (self.jobs * 4) or 1
-        )
+        chunks = self._plan(pending, timings)
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            results = pool.map(
-                evaluate,
-                [query for _, query in pending],
-                chunksize=chunksize,
-            )
-            for (index, _), record in zip(pending, results):
-                yield index, record
+            futures = {
+                pool.submit(
+                    _evaluate_chunk, [q for _, q in chunk], self.batch
+                ): chunk
+                for chunk in chunks
+            }
+            while futures:
+                finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    chunk = futures.pop(future)
+                    for (index, _), record in zip(chunk, future.result()):
+                        yield index, record
+
+    def _plan(
+        self,
+        pending: "list[tuple[int, DesignQuery]]",
+        timings: "list[tuple[DesignQuery, float]] | None" = None,
+    ) -> "list[list[tuple[int, DesignQuery]]]":
+        """Chunk the pending points for the pool.
+
+        An explicit ``chunksize`` keeps the legacy fixed consecutive
+        split; otherwise the cost model packs about four balanced
+        chunks per job so one expensive point cannot serialize a sweep
+        behind it.  The model fits from the timings this run's cache
+        hits already decoded (zero extra I/O); only a run with no hits
+        at all — e.g. one shard of a space whose siblings populated a
+        shared cache — pays a directory scan to learn from them.
+        """
+        if self.chunksize is not None:
+            size = self.chunksize
+            return [
+                pending[i : i + size] for i in range(0, len(pending), size)
+            ]
+        model = CostModel()
+        for query, seconds in timings or ():
+            model.observe(query, seconds)
+        if model.observations == 0:
+            model = CostModel.from_cache(self.cache)
+        return plan_chunks(
+            pending,
+            cost=lambda item: model.estimate(item[1]),
+            bins=min(len(pending), self.jobs * 4),
+        )
 
 
 def run_queries(
@@ -180,8 +277,10 @@ def run_queries(
     cache: "ResultCache | Path | str | None" = None,
     reuse_cache: bool = True,
     batch: bool = True,
+    shard: "tuple[int, int] | str | None" = None,
 ) -> ResultSet:
     """One-call convenience wrapper around :class:`Executor`."""
     return Executor(
-        jobs=jobs, cache=cache, reuse_cache=reuse_cache, batch=batch
+        jobs=jobs, cache=cache, reuse_cache=reuse_cache, batch=batch,
+        shard=shard,
     ).run(queries)

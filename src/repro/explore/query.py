@@ -324,12 +324,22 @@ class DesignRecord:
 
     Failed (infeasible) points carry ``error``/``error_type`` and ``None``
     metrics; successful points carry every Table 1 column plus the
-    allocation's register distribution.
+    allocation's register distribution.  *Crashed* points — unexpected
+    non-:class:`~repro.errors.ReproError` exceptions in a worker — carry
+    the worker ``traceback`` as well, so one bad point never aborts a
+    sweep (see :class:`~repro.explore.executor.Executor`).
+
+    ``seconds`` is the evaluation wall time of this point; it is
+    bookkeeping, not identity — excluded from equality and from
+    :meth:`to_dict`, persisted only in the cache entry envelope so the
+    cost model (:mod:`repro.explore.schedule`) can learn from it.
     """
 
     query: DesignQuery
     error: "str | None" = None
     error_type: "str | None" = None
+    traceback: "str | None" = None
+    seconds: "float | None" = field(default=None, compare=False)
     cycles: "int | None" = None
     total_ram_accesses: "int | None" = None
     memory_cycles: "int | None" = None
@@ -347,6 +357,11 @@ class DesignRecord:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def crash(self) -> bool:
+        """True for an unexpected-exception record (vs a domain failure)."""
+        return self.traceback is not None
 
     @staticmethod
     def from_design(
@@ -376,16 +391,51 @@ class DesignRecord:
             query=query, error=str(exc), error_type=type(exc).__name__
         )
 
+    @staticmethod
+    def crashed(query: DesignQuery, exc: BaseException) -> "DesignRecord":
+        """A record for an *unexpected* worker exception, traceback and all."""
+        import traceback as tb_mod
+
+        return DesignRecord(
+            query=query,
+            error=str(exc) or type(exc).__name__,
+            error_type=type(exc).__name__,
+            traceback="".join(
+                tb_mod.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
     def raise_error(self) -> None:
-        """Re-raise a failed record as its original exception type."""
+        """Re-raise a failed record as its original exception type.
+
+        Types are resolved from :mod:`repro.errors`, then builtins;
+        anything else (third-party exceptions, multi-argument builtin
+        constructors like ``UnicodeDecodeError``) falls back to
+        :class:`ReproError` — the message always carries the original
+        type name and, for crash records, the worker traceback.
+        """
         if self.ok:
             return
+        import builtins
+
         import repro.errors as errors_mod
 
-        exc_type = getattr(errors_mod, self.error_type or "", ReproError)
-        if not (isinstance(exc_type, type) and issubclass(exc_type, Exception)):
-            exc_type = ReproError
-        raise exc_type(self.error)
+        exc_type: Any = ReproError
+        for namespace in (errors_mod, builtins):
+            candidate = getattr(namespace, self.error_type or "", None)
+            if isinstance(candidate, type) and issubclass(candidate, Exception):
+                exc_type = candidate
+                break
+        message = self.error
+        if self.traceback:
+            message = f"{self.error}\n--- worker traceback ---\n{self.traceback}"
+        try:
+            exc = exc_type(message)
+        except TypeError:
+            # Constructors with mandatory extra arguments cannot be
+            # rebuilt from a message alone.
+            exc = ReproError(f"{self.error_type}: {message}")
+        raise exc
 
     def value_of(self, name: str) -> Any:
         """Look a field up on the record, then the query (for filtering)."""
@@ -403,6 +453,8 @@ class DesignRecord:
         if not self.ok:
             doc["error"] = self.error
             doc["error_type"] = self.error_type
+            if self.traceback is not None:
+                doc["traceback"] = self.traceback
             return doc
         for name in METRIC_FIELDS:
             doc[name] = getattr(self, name)
@@ -422,6 +474,7 @@ class DesignRecord:
                 query=query,
                 error=doc["error"],
                 error_type=doc.get("error_type"),
+                traceback=doc.get("traceback"),
             )
         return DesignRecord(
             query=query,

@@ -56,7 +56,12 @@ class ResultSet:
         return ResultSet([r for r in self.records if r.ok], self.stats)
 
     def failures(self) -> "ResultSet":
+        """Every unsuccessful point — infeasible and crashed alike."""
         return ResultSet([r for r in self.records if not r.ok], self.stats)
+
+    def crashes(self) -> "ResultSet":
+        """Only the crashed points (unexpected worker exceptions)."""
+        return ResultSet([r for r in self.records if r.crash], self.stats)
 
     def filter(
         self,
@@ -150,6 +155,9 @@ class ResultSet:
                 "cache_hits": self.stats.cache_hits,
                 "failures": self.stats.failures,
                 "seconds": self.stats.seconds,
+                "stale": self.stats.stale,
+                "corrupt": self.stats.corrupt,
+                "errors": self.stats.errors,
             }
         return json.dumps(doc, indent=indent)
 

@@ -1,0 +1,194 @@
+"""Cost-model-driven chunk scheduling for exploration sweeps.
+
+Design-point cost varies wildly across a space: an exact-knapsack
+allocation of a deep nest costs orders of magnitude more than a NO-SR
+pass over a toy kernel (cf. the tile-size-dependent costs in the tiling
+literature).  The executor's old fixed ``len(pending) // (jobs * 4)``
+split therefore routinely packed several expensive points into one chunk
+while other workers idled.
+
+This module replaces that split with two pieces:
+
+* a :class:`CostModel` that predicts per-point evaluation seconds —
+  fitted from the timings the cache persists with every
+  :class:`~repro.explore.query.DesignRecord` (``seconds``), falling back
+  to static kernel-size × allocator priors for cold starts;
+* :func:`plan_chunks`, a longest-processing-time-first (LPT) packer that
+  distributes pending points into balanced chunks.  LPT is the classic
+  2-approximation for multiprocessor scheduling: sort by estimated cost
+  descending, always drop the next point into the lightest chunk.
+
+Everything here is deterministic: ties break on original query order, so
+two runs over the same pending set build the same chunks.  Estimates
+only shape *scheduling* — results are unaffected by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import lru_cache
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
+
+from repro.errors import ReproError
+from repro.explore.query import DesignQuery
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.explore.cache import ResultCache
+
+__all__ = ["CostModel", "plan_chunks", "static_cost", "ALLOCATOR_WEIGHT"]
+
+T = TypeVar("T")
+
+#: Static relative cost of one allocation pass, used until measured
+#: timings exist.  The exact knapsack (KS-RA) dominates; NO-SR does no
+#: scalar-replacement analysis at all.  Unknown allocators get 1.0.
+ALLOCATOR_WEIGHT = {
+    "NO-SR": 0.3,
+    "FR-RA": 1.0,
+    "PR-RA": 1.2,
+    "CPA-RA": 1.6,
+    "KS-RA": 3.0,
+}
+
+
+@lru_cache(maxsize=256)
+def _kernel_weight(kernel: str, kernel_json: "str | None") -> float:
+    """Static size proxy of one sweep subject: iterations x references.
+
+    Building the kernel is cheap (pure IR construction, no analysis) and
+    memoized per process.  A subject that cannot even be built — unknown
+    name, malformed embedded JSON, a crashing factory — weighs 1.0: the
+    scheduler must never die on a point the evaluator is about to turn
+    into an error record anyway.
+    """
+    try:
+        subject = DesignQuery(
+            kernel=kernel, allocator="NO-SR", budget=1, kernel_json=kernel_json
+        ).build_kernel()
+        return float(
+            subject.iteration_count * max(1, len(subject.reference_sites()))
+        )
+    except Exception:  # noqa: BLE001 — scheduling must survive bad points
+        return 1.0
+
+
+def static_cost(query: DesignQuery) -> float:
+    """Prior cost estimate (arbitrary units) for a never-measured point."""
+    weight = ALLOCATOR_WEIGHT.get(query.allocator, 1.0)
+    # Larger budgets mean more candidate groups survive the knapsack /
+    # pattern passes; a gentle sublinear bump keeps the prior stable.
+    budget_factor = 1.0 + min(query.budget, 1024) / 128.0
+    return _kernel_weight(query.kernel, query.kernel_json) * weight * budget_factor
+
+
+class CostModel:
+    """Predicts per-point evaluation seconds from observed timings.
+
+    Observations are aggregated at two granularities and fall back
+    gracefully:
+
+    1. mean of timings for the exact ``(kernel, allocator)`` pair;
+    2. the kernel's mean across allocators, rescaled by the allocator's
+       static weight ratio;
+    3. the global mean, rescaled by the point's static-prior ratio;
+    4. the bare static prior (cold start: nothing measured yet).
+
+    Rescaling by prior *ratios* keeps the fallbacks ordered the same way
+    the priors are, so LPT packing stays sensible even from sparse data.
+    """
+
+    def __init__(self) -> None:
+        self._pair: dict[tuple[str, "str | None", str], list[float]] = {}
+        self._kernel: dict[tuple[str, "str | None"], list[float]] = {}
+        self._all: list[float] = []
+
+    def observe(self, query: DesignQuery, seconds: float) -> None:
+        """Record one measured evaluation time."""
+        if seconds is None or seconds < 0:
+            return
+        kernel_key = (query.kernel, query.kernel_json)
+        self._pair.setdefault(kernel_key + (query.allocator,), []).append(seconds)
+        self._kernel.setdefault(kernel_key, []).append(seconds)
+        self._all.append(seconds)
+
+    @property
+    def observations(self) -> int:
+        return len(self._all)
+
+    def estimate(self, query: DesignQuery) -> float:
+        """Predicted evaluation seconds (relative units when unfitted)."""
+        kernel_key = (query.kernel, query.kernel_json)
+        pair = self._pair.get(kernel_key + (query.allocator,))
+        if pair:
+            return sum(pair) / len(pair)
+        weight = ALLOCATOR_WEIGHT.get(query.allocator, 1.0)
+        per_kernel = self._kernel.get(kernel_key)
+        if per_kernel:
+            return (sum(per_kernel) / len(per_kernel)) * weight
+        if self._all:
+            mean = sum(self._all) / len(self._all)
+            return mean * static_cost(query) / _mean_static_prior()
+        return static_cost(query)
+
+    @staticmethod
+    def from_cache(cache: "ResultCache | None") -> "CostModel":
+        """Fit a model from every readable timing in a result cache.
+
+        Stale entries count too — a timing stays informative even after
+        the code it measured changed — and unreadable files are simply
+        skipped (the cache already warns about corruption on lookup).
+        """
+        model = CostModel()
+        if cache is None or not cache.root.is_dir():
+            return model
+        for path in sorted(cache.root.glob("*.json")):
+            try:
+                doc = json.loads(path.read_text())
+                seconds = doc["seconds"]
+                query = DesignQuery.from_key(doc["query"])
+            except Exception:  # noqa: BLE001 — fitting is best-effort
+                continue
+            if isinstance(seconds, (int, float)):
+                model.observe(query, float(seconds))
+        return model
+
+
+def _mean_static_prior() -> float:
+    """Normalizer for the global-mean fallback: an 'average' prior."""
+    # The registered paper kernels at the paper budget are the natural
+    # reference population; the value only scales a ratio, so precision
+    # is irrelevant — determinism and positivity are what matter.
+    from repro.kernels.registry import KERNEL_FACTORIES, PAPER_REGISTER_BUDGET
+
+    priors = [
+        static_cost(DesignQuery(name, "FR-RA", PAPER_REGISTER_BUDGET))
+        for name in sorted(KERNEL_FACTORIES)
+    ]
+    return sum(priors) / len(priors) if priors else 1.0
+
+
+def plan_chunks(
+    items: Sequence[T],
+    cost: Callable[[T], float],
+    bins: int,
+) -> "list[list[T]]":
+    """Pack ``items`` into at most ``bins`` balanced chunks (LPT).
+
+    Deterministic: equal-cost items keep their input order, and ties
+    between equally loaded chunks resolve to the lowest chunk index.
+    Empty chunks are dropped, so short work lists yield fewer chunks.
+    """
+    if bins < 1:
+        raise ReproError(f"chunk count must be >= 1, got {bins}")
+    if not items:
+        return []
+    bins = min(bins, len(items))
+    costs = [float(cost(item)) for item in items]
+    order = sorted(range(len(items)), key=lambda i: (-costs[i], i))
+    loads = [0.0] * bins
+    chunks: "list[list[T]]" = [[] for _ in range(bins)]
+    for i in order:
+        target = min(range(bins), key=lambda b: (loads[b], b))
+        chunks[target].append(items[i])
+        loads[target] += costs[i]
+    return [chunk for chunk in chunks if chunk]

@@ -74,6 +74,73 @@ def test_explore_table(capsys, tmp_path):
     assert "0 evaluated, 4 cache hits (100%)" in err
 
 
+def test_explore_cache_dir_implies_resume(capsys, tmp_path):
+    argv = (
+        "explore", "--kernels", "fir", "--allocators", "FR-RA", "NO-SR",
+        "--budgets", "8", "--cache-dir", str(tmp_path / "cache"),
+    )
+    # No --resume needed: a cache directory is reused by default.
+    code, _, err = run_cli(capsys, *argv)
+    assert code == 0
+    assert "2 points: 2 evaluated, 0 cache hits" in err
+    code, _, err = run_cli(capsys, *argv)
+    assert code == 0
+    assert "0 evaluated, 2 cache hits (100%)" in err
+    # --fresh forces re-evaluation even with a populated cache.
+    code, _, err = run_cli(capsys, *argv, "--fresh")
+    assert code == 0
+    assert "2 evaluated, 0 cache hits" in err
+    # ... and the rewritten entries are still reusable afterwards.
+    code, _, err = run_cli(capsys, *argv)
+    assert code == 0
+    assert "0 evaluated, 2 cache hits (100%)" in err
+
+
+def test_explore_resume_and_fresh_conflict(capsys, tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main([
+            "explore", "--kernels", "fir", "--budgets", "8",
+            "--cache-dir", str(tmp_path), "--resume", "--fresh",
+        ])
+    assert excinfo.value.code != 0
+
+
+def test_explore_sharded_stitch(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    base = (
+        "explore", "--kernels", "fir", "mat", "--allocators",
+        "FR-RA", "NO-SR", "--budgets", "8", "16", "--cache-dir", cache,
+    )
+    # Reference run into a separate cache: the full space, evaluated.
+    code, full_out, _ = run_cli(
+        capsys, *base[:-1], str(tmp_path / "other"), "--format", "json",
+    )
+    assert code == 0
+
+    # Two disjoint shards share one cache directory...
+    totals = []
+    for shard in ("1/2", "2/2"):
+        code, out, err = run_cli(capsys, *base, "--shard", shard)
+        assert code == 0
+        assert "shard " + shard in out
+        assert "0 cache hits" in err  # disjoint shards never overlap
+        totals.append(int(err.split(" points:")[0].split()[-1]))
+    assert sum(totals) == 8
+
+    # ...and the unsharded resume stitches the full set from cache,
+    # bit-identical to the reference evaluation.
+    code, out, err = run_cli(capsys, *base, "--format", "json")
+    assert code == 0
+    assert "8 points: 0 evaluated, 8 cache hits (100%)" in err
+    assert json.loads(out)["records"] == json.loads(full_out)["records"]
+
+
+def test_explore_bad_shard_spec(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["explore", "--kernels", "fir", "--shard", "3/2"])
+    assert excinfo.value.code != 0
+
+
 def test_explore_json(capsys):
     code, out, _ = run_cli(
         capsys, "explore", "--kernels", "mat", "--allocators", "NO-SR",
