@@ -1,4 +1,4 @@
-"""Experiment harnesses: Table 1, Figure 2 and the ablation sweeps."""
+"""Experiment harnesses: Table 1, Figure 2, ablation sweeps and perf."""
 
 from repro.bench.example import (
     Figure2Report,
@@ -8,6 +8,7 @@ from repro.bench.example import (
     figure2_report,
 )
 from repro.bench.formatting import render_table
+from repro.bench.perf import PerfReport, perf_grid, render_perf, run_perf
 from repro.bench.sweeps import (
     BudgetPoint,
     ResidencyPoint,
@@ -23,6 +24,7 @@ __all__ = [
     "Figure2Report",
     "Figure2Row",
     "PAPER_TMEM",
+    "PerfReport",
     "ResidencyPoint",
     "Table1",
     "Table1Row",
@@ -31,8 +33,11 @@ __all__ = [
     "figure2_report",
     "generate_table1",
     "latency_sweep",
+    "perf_grid",
     "policy_comparison",
+    "render_perf",
     "render_table",
     "render_table1",
     "residency_study",
+    "run_perf",
 ]

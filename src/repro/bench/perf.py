@@ -1,0 +1,222 @@
+"""Tracked microbenchmark harness for the evaluation hot path.
+
+Times the three regimes that matter for sweep throughput and writes the
+machine-readable ``BENCH_<n>.json`` the repo's perf trajectory tracks:
+
+* **single point** — one representative :class:`DesignQuery`, evaluated
+  repeatedly with artifact memoization disabled and with a warm
+  :class:`~repro.explore.context.EvalContext` (the floor and ceiling of
+  per-point cost);
+* **grid** — a Table-1-shaped kernels x allocators x budgets sweep at
+  ``jobs=1``, run without a context (the seed evaluator's behaviour),
+  with a *cold* context (first sweep of a fresh process) and again with
+  the now-*warm* context (resumed / repeated sweeps);
+* **equivalence** — the no-context and context grids are compared
+  record for record; a benchmark that got fast by changing answers
+  fails loudly (``identical`` must be true).
+
+Run it via ``repro perf`` (``--quick`` for the CI smoke grid,
+``--min-speedup X`` to fail the run when the warm-context grid is not at
+least ``X`` times faster than the no-context baseline).  See
+``docs/perf.md`` for how to read the emitted JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.explore.context import EvalContext
+from repro.explore.executor import Executor
+from repro.explore.evaluate import evaluate_query
+from repro.explore.query import DesignQuery
+from repro.explore.results import ResultSet
+from repro.explore.space import ExplorationSpace
+
+__all__ = [
+    "BENCH_NUMBER",
+    "PerfReport",
+    "perf_grid",
+    "run_perf",
+    "render_perf",
+    "write_report",
+]
+
+#: Sequence number of this harness's output file (``BENCH_4.json``).
+BENCH_NUMBER = 4
+
+#: The Table-1-shaped reference grid: 4 kernels x 5 allocators x 16
+#: budgets = 320 points, matching the acceptance target of the
+#: shared-artifact plane (>= 3x at jobs=1 vs --no-context).
+GRID_KERNELS = ("fir", "mat", "pat", "bic")
+GRID_ALLOCATORS = ("NO-SR", "FR-RA", "PR-RA", "CPA-RA", "KS-RA")
+GRID_BUDGETS = tuple(range(4, 36, 2))
+
+#: The CI smoke grid: small enough for a shared runner, same shape.
+QUICK_KERNELS = ("fir", "pat")
+QUICK_ALLOCATORS = ("FR-RA", "CPA-RA", "KS-RA")
+QUICK_BUDGETS = (8, 16, 24, 32)
+
+#: The single-point subject: a mid-ladder CPA-RA point of the running
+#: example's kernel family (DFG + coverage + anchor search all active).
+SINGLE_POINT = DesignQuery(kernel="pat", allocator="CPA-RA", budget=16)
+
+
+def perf_grid(quick: bool = False) -> ExplorationSpace:
+    """The benchmark's exploration grid (`--quick` for the CI smoke)."""
+    if quick:
+        return ExplorationSpace(
+            kernels=QUICK_KERNELS,
+            allocators=QUICK_ALLOCATORS,
+            budgets=QUICK_BUDGETS,
+        )
+    return ExplorationSpace(
+        kernels=GRID_KERNELS,
+        allocators=GRID_ALLOCATORS,
+        budgets=GRID_BUDGETS,
+    )
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """One harness run: timings (seconds), speedups, and the verdict."""
+
+    quick: bool
+    points: int
+    grid_no_context: float
+    grid_cold_context: float
+    grid_warm_context: float
+    single_no_context: float
+    single_warm_context: float
+    single_repeats: int
+    identical: bool
+    context_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def speedup_cold(self) -> float:
+        return self.grid_no_context / self.grid_cold_context
+
+    @property
+    def speedup_warm(self) -> float:
+        return self.grid_no_context / self.grid_warm_context
+
+    @property
+    def speedup_single(self) -> float:
+        return self.single_no_context / self.single_warm_context
+
+    def to_dict(self) -> dict:
+        grid = perf_grid(self.quick)
+        return {
+            "bench": BENCH_NUMBER,
+            "name": "shared-artifact evaluation plane",
+            "quick": self.quick,
+            "grid": {
+                "kernels": list(grid.kernels),
+                "allocators": list(grid.allocators),
+                "budgets": list(grid.budgets),
+                "points": self.points,
+            },
+            "seconds": {
+                "grid_no_context": self.grid_no_context,
+                "grid_cold_context": self.grid_cold_context,
+                "grid_warm_context": self.grid_warm_context,
+                "single_point_no_context": self.single_no_context,
+                "single_point_warm_context": self.single_warm_context,
+            },
+            "speedup": {
+                "grid_cold_vs_no_context": self.speedup_cold,
+                "grid_warm_vs_no_context": self.speedup_warm,
+                "single_point_warm_vs_no_context": self.speedup_single,
+            },
+            "single_repeats": self.single_repeats,
+            "identical": self.identical,
+            "context_stats": dict(self.context_stats),
+            "host": {
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "system": platform.system(),
+            },
+        }
+
+
+def _time_grid(
+    space: ExplorationSpace, context: "bool | EvalContext"
+) -> "tuple[float, ResultSet]":
+    started = time.perf_counter()
+    results = Executor(jobs=1, context=context).run(space)
+    return time.perf_counter() - started, results
+
+
+def _time_single(
+    query: DesignQuery, context: "bool | EvalContext", repeats: int
+) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        evaluate_query(query, context=context)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_perf(quick: bool = False, single_repeats: int = 5) -> PerfReport:
+    """Run the full harness at ``jobs=1``; pure measurement, no I/O.
+
+    Context runs use explicit fresh :class:`EvalContext` instances (never
+    the process-global one), so cold really means cold even inside a
+    long-lived process, and the no-context baseline is never polluted by
+    artifacts another phase built.
+    """
+    space = perf_grid(quick)
+
+    base_seconds, base = _time_grid(space, context=False)
+    ctx = EvalContext()
+    cold_seconds, cold = _time_grid(space, context=ctx)
+    warm_seconds, warm = _time_grid(space, context=ctx)
+    identical = tuple(base) == tuple(cold) and tuple(base) == tuple(warm)
+
+    single_base = _time_single(SINGLE_POINT, False, single_repeats)
+    single_ctx = EvalContext()
+    # Prime, then time: every repeat after the first runs warm anyway.
+    evaluate_query(SINGLE_POINT, context=single_ctx)
+    single_warm = _time_single(SINGLE_POINT, single_ctx, single_repeats)
+
+    return PerfReport(
+        quick=quick,
+        points=space.size,
+        grid_no_context=base_seconds,
+        grid_cold_context=cold_seconds,
+        grid_warm_context=warm_seconds,
+        single_no_context=single_base,
+        single_warm_context=single_warm,
+        single_repeats=single_repeats,
+        identical=identical,
+        context_stats=ctx.stats.as_dict(),
+    )
+
+
+def render_perf(report: PerfReport) -> str:
+    """Human-readable summary of one harness run."""
+    lines = [
+        f"perf: {report.points}-point grid at jobs=1"
+        + (" (quick)" if report.quick else ""),
+        f"  no-context    {report.grid_no_context:8.2f}s   (baseline)",
+        f"  cold context  {report.grid_cold_context:8.2f}s   "
+        f"{report.speedup_cold:5.2f}x",
+        f"  warm context  {report.grid_warm_context:8.2f}s   "
+        f"{report.speedup_warm:5.2f}x",
+        f"  single point  {report.single_no_context * 1e3:8.2f}ms -> "
+        f"{report.single_warm_context * 1e3:.2f}ms warm "
+        f"({report.speedup_single:.2f}x, best of {report.single_repeats})",
+        f"  records bit-identical: {report.identical}",
+    ]
+    return "\n".join(lines)
+
+
+def write_report(report: PerfReport, out: "Path | str") -> Path:
+    """Write the JSON document the perf trajectory tracks."""
+    path = Path(out)
+    path.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path

@@ -54,6 +54,7 @@ def _records(
     cache: "ResultCache | Path | str | None",
     batch: bool = True,
     chunksize: "int | None" = None,
+    context: bool = True,
 ) -> "list[DesignRecord]":
     """Run queries through the engine; re-raise the first failure.
 
@@ -62,7 +63,8 @@ def _records(
     errors even though the engine itself never aborts a sweep.
     """
     results = Executor(
-        jobs=jobs, cache=cache, batch=batch, chunksize=chunksize
+        jobs=jobs, cache=cache, batch=batch, chunksize=chunksize,
+        context=context,
     ).run(queries)
     for record in results:
         record.raise_error()
@@ -78,6 +80,7 @@ def budget_sweep(
     cache: "ResultCache | Path | str | None" = None,
     batch: bool = True,
     chunksize: "int | None" = None,
+    context: bool = True,
 ) -> list[BudgetPoint]:
     """Cycles/wall-clock versus register budget (ablation A1)."""
     if not budgets or not algorithms:
@@ -102,7 +105,7 @@ def budget_sweep(
             total_registers=record.total_registers,
         )
         for query, record in zip(
-            queries, _records(queries, jobs, cache, batch, chunksize)
+            queries, _records(queries, jobs, cache, batch, chunksize, context)
         )
     ]
 
@@ -116,6 +119,7 @@ def latency_sweep(
     cache: "ResultCache | Path | str | None" = None,
     batch: bool = True,
     chunksize: "int | None" = None,
+    context: bool = True,
 ) -> dict[int, dict[str, int]]:
     """Cycle counts versus RAM access latency (ablation A2).
 
@@ -140,7 +144,7 @@ def latency_sweep(
     ]
     out: dict[int, dict[str, int]] = {latency: {} for latency in latencies}
     for query, record in zip(
-        queries, _records(queries, jobs, cache, batch, chunksize)
+        queries, _records(queries, jobs, cache, batch, chunksize, context)
     ):
         out[query.latency.ram_latency][query.allocator] = record.cycles
     return out
@@ -155,6 +159,7 @@ def policy_comparison(
     cache: "ResultCache | Path | str | None" = None,
     batch: bool = True,
     chunksize: "int | None" = None,
+    context: bool = True,
 ) -> dict[str, tuple[int, int]]:
     """(saved RAM accesses, cycles) per allocator (ablation A3).
 
@@ -173,7 +178,7 @@ def policy_comparison(
         replace(proto, allocator=algorithm) for algorithm in algorithms
     ]
     records = dict(
-        zip(algorithms, _records(queries, jobs, cache, batch, chunksize))
+        zip(algorithms, _records(queries, jobs, cache, batch, chunksize, context))
     )
     naive = records.get("NO-SR")
     naive_accesses = naive.total_ram_accesses if naive is not None else None

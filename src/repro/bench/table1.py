@@ -81,6 +81,7 @@ def generate_table1(
     cache: "ResultCache | Path | str | None" = None,
     batch: bool = True,
     chunksize: "int | None" = None,
+    context: bool = True,
 ) -> Table1:
     """Run the full evaluation and collect Table 1."""
     kernels = kernels if kernels is not None else paper_kernels()
@@ -98,7 +99,8 @@ def generate_table1(
         for algorithm in PAPER_VERSIONS
     ]
     results = Executor(
-        jobs=jobs, cache=cache, batch=batch, chunksize=chunksize
+        jobs=jobs, cache=cache, batch=batch, chunksize=chunksize,
+        context=context,
     ).run(queries)
     for record in results:
         record.raise_error()

@@ -13,6 +13,9 @@ Commands
 ``explore``
     Sweep a (kernels x allocators x budgets x latencies x devices)
     design space in parallel, with cached/resumable results.
+``perf``
+    Run the tracked microbenchmark harness (``bench/perf.py``) and
+    emit ``BENCH_4.json``.
 ``list``
     List the available kernels, allocators and devices.
 """
@@ -137,6 +140,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         cache=cache,
         reuse_cache=reuse,
         batch=not args.no_batch,
+        context=not args.no_context,
         shard=args.shard,
     )
     results = executor.run(space)
@@ -150,6 +154,33 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             title += f" (shard {args.shard[0]}/{args.shard[1]} of {space.size})"
         print(results.render(title=title))
     print(f"explore: {results.stats.summary()}", file=sys.stderr)
+    if args.profile:
+        print(results.stats.profile(), file=sys.stderr)
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.bench.perf import render_perf, run_perf, write_report
+
+    report = run_perf(quick=args.quick, single_repeats=args.repeats)
+    print(render_perf(report))
+    if args.out:
+        path = write_report(report, args.out)
+        print(f"perf: wrote {path}", file=sys.stderr)
+    if not report.identical:
+        print(
+            "perf: FAIL — context records diverged from the no-context "
+            "reference",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_speedup is not None and report.speedup_warm < args.min_speedup:
+        print(
+            f"perf: FAIL — warm-context grid speedup {report.speedup_warm:.2f}x "
+            f"is below the required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -255,9 +286,42 @@ def main(argv: "list[str] | None" = None) -> int:
         help="disable batched steady-state evaluation (reference path; "
         "results are bit-identical either way)",
     )
+    p_explore.add_argument(
+        "--no-context", action="store_true",
+        help="disable the shared-artifact evaluation context (reference "
+        "path; results are bit-identical either way)",
+    )
+    p_explore.add_argument(
+        "--profile", action="store_true",
+        help="print a per-stage wall-time breakdown (kernel build / "
+        "allocation / DFG+coverage / cycle count) of the evaluated points",
+    )
     p_explore.add_argument("--format", default="table",
                            choices=("table", "json", "csv"))
     p_explore.set_defaults(func=_cmd_explore)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="run the tracked microbenchmark harness (emits BENCH_4.json)",
+    )
+    p_perf.add_argument(
+        "--quick", action="store_true",
+        help="small CI-smoke grid instead of the full Table-1-shaped grid",
+    )
+    p_perf.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSON report here (e.g. BENCH_4.json)",
+    )
+    p_perf.add_argument(
+        "--repeats", type=int, default=5,
+        help="single-point timing repeats (best-of)",
+    )
+    p_perf.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless the warm-context grid is at least X "
+        "times faster than the no-context baseline",
+    )
+    p_perf.set_defaults(func=_cmd_perf)
 
     p_list = sub.add_parser("list", help="list kernels and allocators")
     p_list.set_defaults(func=_cmd_list)

@@ -12,19 +12,32 @@ All allocators share the paper's ground rules:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
 
 from repro.analysis.groups import RefGroup, build_groups
 from repro.core.allocation import Allocation
 from repro.errors import AllocationError
 from repro.ir.kernel import Kernel
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.explore.context import EvalContext
+
 __all__ = ["Allocator", "AllocationState"]
 
 
 class AllocationState:
-    """Mutable working state shared by the concrete allocators."""
+    """Mutable working state shared by the concrete allocators.
 
-    def __init__(self, kernel: Kernel, groups: tuple[RefGroup, ...], budget: int):
+    ``context`` (set by :meth:`Allocator.allocate`) exposes the sweep's
+    shared-artifact memo plane to policies that redo whole-kernel
+    analysis per budget point — CPA-RA's DFG/critical-graph walks, KS-RA's
+    DP table — and is ``None`` for standalone allocations.  Policies must
+    treat anything obtained from it as read-only; using it never changes
+    the resulting allocation.
+    """
+
+    def __init__(self, kernel: Kernel, groups: tuple[RefGroup, ...], budget: int,
+                 context: "EvalContext | None" = None):
         if budget < len(groups):
             raise AllocationError(
                 f"budget {budget} cannot cover the mandatory register of "
@@ -33,6 +46,7 @@ class AllocationState:
         self.kernel = kernel
         self.groups = groups
         self.budget = budget
+        self.context = context
         self.assigned: dict[str, int] = {g.name: 1 for g in groups}
         self.remaining = budget - len(groups)
         self.trace: list[str] = [
@@ -90,9 +104,10 @@ class Allocator(ABC):
         kernel: Kernel,
         budget: int,
         groups: "tuple[RefGroup, ...] | None" = None,
+        context: "EvalContext | None" = None,
     ) -> Allocation:
         groups = groups if groups is not None else build_groups(kernel)
-        state = AllocationState(kernel, groups, budget)
+        state = AllocationState(kernel, groups, budget, context=context)
         self._run(state)
         return state.finish(kernel.name, self.name)
 

@@ -46,7 +46,15 @@ class CriticalPathAwareAllocator(Allocator):
         self._model = latency_model or LatencyModel.realistic()
 
     def _run(self, state: AllocationState) -> None:
-        dfg = build_dfg(state.kernel, state.groups)
+        # Budget points of one sweep share the DFG and — in the early
+        # rounds, where adjacent budgets reach identical hit maps — the
+        # extracted CG itself, so both go through the shared-artifact
+        # context when the sweep provides one.
+        ctx = state.context
+        if ctx is not None:
+            dfg = ctx.dfg(state.kernel, state.groups)
+        else:
+            dfg = build_dfg(state.kernel, state.groups)
         rounds = 0
         max_rounds = len(state.groups) + 2  # each round retires >= 1 group
         while state.remaining > 0 and rounds < max_rounds:
@@ -55,7 +63,10 @@ class CriticalPathAwareAllocator(Allocator):
                 g.name: state.is_full(g) and g.carries_reuse
                 for g in state.groups
             }
-            cg = critical_graph(dfg, self._model, hits)
+            if ctx is not None:
+                cg = ctx.critical_graph(state.kernel, dfg, self._model, hits)
+            else:
+                cg = critical_graph(dfg, self._model, hits)
             cuts = enumerate_cuts(
                 cg,
                 removable=lambda name: self._removable(state, name),

@@ -13,6 +13,7 @@ greedy suboptimality (ablation A3 in DESIGN.md).
 from __future__ import annotations
 
 from repro.core.base import AllocationState, Allocator
+from repro.core.dp import solve_knapsack
 
 __all__ = ["KnapsackAllocator"]
 
@@ -28,17 +29,21 @@ class KnapsackAllocator(Allocator):
         weights = [state.need(g) for g in items]
         values = [g.full_saved for g in items]
 
-        # Classic DP over capacity; reconstruct the chosen set.
-        best = [0] * (capacity + 1)
-        keep: list[list[bool]] = []
-        for weight, value in zip(weights, values):
-            taken = [False] * (capacity + 1)
-            for cap in range(capacity, weight - 1, -1):
-                candidate = best[cap - weight] + value
-                if candidate > best[cap]:
-                    best[cap] = candidate
-                    taken[cap] = True
-            keep.append(taken)
+        # Classic DP over capacity; reconstruct the chosen set.  The DP
+        # recurrence for capacity ``c`` never reads beyond ``c``, so one
+        # table computed at the largest capacity seen answers every
+        # smaller budget of a sweep bit-identically — the context memo
+        # exploits exactly that across the budget axis.
+        signature = tuple(
+            (g.name, weight, value)
+            for g, weight, value in zip(items, weights, values)
+        )
+        if state.context is not None:
+            best, keep = state.context.knapsack_tables(
+                state.kernel, signature, capacity
+            )
+        else:
+            best, keep = solve_knapsack(signature, capacity)
 
         chosen: list[int] = []
         cap = capacity

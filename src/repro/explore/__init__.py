@@ -13,7 +13,12 @@ guarded by per-module *version vectors* (:mod:`repro.explore.versions`),
 so a resumed sweep after a source edit re-runs only the points whose
 dependency cone changed.  Evaluation defaults to the batched
 steady-state path (:mod:`repro.explore.batch`) — bit-identical to the
-per-iteration reference, measurably faster.  The returned
+per-iteration reference, measurably faster — and runs on the
+shared-artifact plane of :class:`EvalContext`
+(:mod:`repro.explore.context`): DFGs, coverage structures, pattern
+makespans and allocator tables are memoized per process and shared
+across the grid (``--no-context`` is the reference escape hatch, and
+``repro perf`` tracks the resulting speedups).  The returned
 :class:`ResultSet` supports filtering, grouping, Pareto-frontier
 queries and JSON/CSV export.
 
@@ -37,6 +42,12 @@ from repro.explore.batch import (
     verify_batch_equivalence,
 )
 from repro.explore.cache import CacheCorruptionWarning, ResultCache
+from repro.explore.context import (
+    EvalContext,
+    process_context,
+    reset_process_context,
+    resolve_context,
+)
 from repro.explore.evaluate import (
     code_version,
     evaluate_query,
@@ -45,7 +56,12 @@ from repro.explore.evaluate import (
 from repro.explore.executor import Executor, ExploreStats, run_queries
 from repro.explore.query import DesignQuery, DesignRecord, LatencySpec
 from repro.explore.results import ResultSet
-from repro.explore.schedule import CostModel, plan_chunks, static_cost
+from repro.explore.schedule import (
+    CostModel,
+    plan_chunks,
+    plan_chunks_by_kernel,
+    static_cost,
+)
 from repro.explore.shard import parse_shard, shard_index, shard_queries
 from repro.explore.space import ExplorationSpace
 from repro.explore.versions import (
@@ -61,6 +77,7 @@ __all__ = [
     "CostModel",
     "DesignQuery",
     "DesignRecord",
+    "EvalContext",
     "ExplorationSpace",
     "Executor",
     "ExploreStats",
@@ -76,8 +93,12 @@ __all__ = [
     "iteration_classes",
     "parse_shard",
     "plan_chunks",
+    "plan_chunks_by_kernel",
+    "process_context",
     "query_roots",
     "query_vector",
+    "reset_process_context",
+    "resolve_context",
     "run_queries",
     "shard_index",
     "shard_queries",

@@ -67,7 +67,9 @@ def compare_batched(query: DesignQuery) -> list[BatchMismatch]:
     unbatched = evaluate_query(query, batch=False)
     mismatches: list[BatchMismatch] = []
     for field in dataclasses.fields(DesignRecord):
-        if field.name == "query":
+        if field.name == "query" or not field.compare:
+            # compare=False fields (seconds, stages) are run bookkeeping,
+            # not results.
             continue
         left = getattr(batched, field.name)
         right = getattr(unbatched, field.name)

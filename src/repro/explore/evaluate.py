@@ -9,10 +9,16 @@ exceptions into crash records (traceback attached) and stamps every
 record with its evaluation wall time, so one bad point can never abort
 a sweep or discard its siblings' results.
 
-Kernel construction and reference-group analysis are memoized per
-process, so the points of one kernel share that work across allocators
-and budgets exactly like the serial harnesses' single
-``evaluate_kernel`` call did.
+Evaluation runs on the shared-artifact plane of
+:class:`~repro.explore.context.EvalContext`: the body DFG, coverage
+rank/Belady structures, per-pattern schedule makespans, CPA-RA critical
+graphs and KS-RA DP tables are memoized per process and reused across
+the allocator/budget axes of a sweep, so the marginal cost of a grid
+point is the allocation decision rather than the whole analysis.
+``context=False`` (CLI: ``--no-context``) disables the artifact memos —
+bit-identical results, reference speed — and an explicit
+:class:`EvalContext` instance gives benchmarks controlled cold/warm
+runs.
 
 ``batch=True`` (the default) routes the cycle count through the
 steady-state/boundary batched path (see :mod:`repro.explore.batch`);
@@ -29,16 +35,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
-from functools import lru_cache
 
-from repro.analysis.groups import RefGroup, build_groups
+from repro.analysis.groups import RefGroup
 from repro.core.pipeline import allocator_by_name
 from repro.errors import ReproError
+from repro.explore.context import EvalContext, process_context, resolve_context
 from repro.explore.query import DesignQuery, DesignRecord
 from repro.hw.device import Device
 from repro.ir.kernel import Kernel
 from repro.synth.design import HardwareDesign
-from repro.synth.estimate import build_design
+from repro.synth.estimate import build_design, charge_stage
 
 __all__ = [
     "design_for",
@@ -48,20 +54,26 @@ __all__ = [
 ]
 
 
-@lru_cache(maxsize=64)
 def _kernel_and_groups(
     kernel_name: str, kernel_json: "str | None"
 ) -> "tuple[Kernel, tuple[RefGroup, ...]]":
-    """Build a query's kernel and its reference groups once per process."""
-    kernel = DesignQuery(
-        kernel=kernel_name, allocator="NO-SR", budget=1,
-        kernel_json=kernel_json,
-    ).build_kernel()
-    return kernel, build_groups(kernel)
+    """Build a query's kernel and its reference groups once per process.
+
+    Thin picklable wrapper over the process context's kernel memo (the
+    former module-level ``lru_cache(maxsize=64)`` — the bound is now
+    :data:`repro.explore.context.DEFAULT_KERNEL_MEMO`, configurable via
+    ``REPRO_EVAL_MEMO_KERNELS``).  Kept so kernel construction is shared
+    even when artifact memoization is disabled (``context=False``),
+    matching the seed evaluator's behaviour.
+    """
+    return process_context().kernel_and_groups(kernel_name, kernel_json)
 
 
 def design_for(
-    query: DesignQuery, batch: bool = True
+    query: DesignQuery,
+    batch: bool = True,
+    context: "bool | EvalContext | None" = True,
+    stages: "dict[str, float] | None" = None,
 ) -> "tuple[HardwareDesign, Device]":
     """The fully evaluated design of one query (raises on domain errors).
 
@@ -69,11 +81,22 @@ def design_for(
     that evaluates a query (records, pattern-class reports) goes through
     it so new pipeline parameters cannot silently diverge between
     callers.
+
+    ``stages``, when given, accumulates per-stage wall seconds under the
+    keys ``kernel`` / ``alloc`` / ``dfg_schedule`` / ``cycles`` /
+    ``other`` (the ``--profile`` breakdown).
     """
-    kernel, groups = _kernel_and_groups(query.kernel, query.kernel_json)
+    ctx = resolve_context(context)
+    started = time.perf_counter()
+    if ctx is not None:
+        kernel, groups = ctx.kernel_and_groups(query.kernel, query.kernel_json)
+    else:
+        kernel, groups = _kernel_and_groups(query.kernel, query.kernel_json)
     device = query.build_device()
+    mark = charge_stage(stages, "kernel", started)
     allocator = allocator_by_name(query.allocator)
-    allocation = allocator.allocate(kernel, query.budget, groups)
+    allocation = allocator.allocate(kernel, query.budget, groups, context=ctx)
+    charge_stage(stages, "alloc", mark)
     design = build_design(
         kernel,
         allocation,
@@ -83,24 +106,38 @@ def design_for(
         ram_ports=query.ram_ports or None,
         overhead_per_iteration=query.overhead,
         batch=batch,
+        context=ctx,
+        stages=stages,
     )
     return design, device
 
 
-def evaluate_query(query: DesignQuery, batch: bool = True) -> DesignRecord:
+def evaluate_query(
+    query: DesignQuery,
+    batch: bool = True,
+    context: "bool | EvalContext | None" = True,
+) -> DesignRecord:
     """Run the full pipeline for one design point.
 
     Domain errors (:class:`~repro.errors.ReproError`) become failed
     records so one infeasible point does not abort a whole sweep.
     """
+    stages: dict[str, float] = {}
     try:
-        design, device = design_for(query, batch=batch)
+        design, device = design_for(
+            query, batch=batch, context=context, stages=stages
+        )
     except ReproError as exc:
-        return DesignRecord.failed(query, exc)
-    return DesignRecord.from_design(query, design, device)
+        return replace(DesignRecord.failed(query, exc), stages=stages)
+    record = DesignRecord.from_design(query, design, device)
+    return replace(record, stages=stages)
 
 
-def evaluate_query_safe(query: DesignQuery, batch: bool = True) -> DesignRecord:
+def evaluate_query_safe(
+    query: DesignQuery,
+    batch: bool = True,
+    context: "bool | EvalContext | None" = True,
+) -> DesignRecord:
     """Like :func:`evaluate_query`, but crash-proof and timed.
 
     Unexpected (non-:class:`~repro.errors.ReproError`) exceptions become
@@ -112,7 +149,7 @@ def evaluate_query_safe(query: DesignQuery, batch: bool = True) -> DesignRecord:
     """
     started = time.perf_counter()
     try:
-        record = evaluate_query(query, batch=batch)
+        record = evaluate_query(query, batch=batch, context=context)
     except Exception as exc:  # noqa: BLE001 — the whole point
         record = DesignRecord.crashed(query, exc)
     return replace(record, seconds=time.perf_counter() - started)

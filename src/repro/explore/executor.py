@@ -36,16 +36,17 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import ReproError
 from repro.explore.cache import ResultCache
+from repro.explore.context import EvalContext
 from repro.explore.evaluate import evaluate_query_safe
 from repro.explore.query import DesignQuery, DesignRecord
 from repro.explore.results import ResultSet
-from repro.explore.schedule import CostModel, plan_chunks
+from repro.explore.schedule import CostModel, plan_chunks, plan_chunks_by_kernel
 from repro.explore.shard import parse_shard, shard_queries
 from repro.explore.space import ExplorationSpace
 
@@ -60,6 +61,12 @@ class ExploreStats:
     ``errors`` counts crashed points (unexpected worker exceptions,
     never cached); ``corrupt`` counts cache entries that existed but
     could not be decoded (each also warned as it was read).
+
+    ``stage_seconds`` aggregates the evaluated points' per-stage wall
+    times (kernel build / allocation / DFG+coverage / cycle count /
+    other) — CPU seconds spent inside evaluation, summed across workers,
+    so with ``jobs>1`` the total exceeds the sweep's wall ``seconds``.
+    Cache hits contribute nothing (they did no stage work this run).
     """
 
     total: int
@@ -70,6 +77,7 @@ class ExploreStats:
     stale: int = 0
     corrupt: int = 0
     errors: int = 0
+    stage_seconds: "dict[str, float]" = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -84,12 +92,48 @@ class ExploreStats:
             f"{self.seconds:.2f}s"
         )
 
+    #: Human labels for the profile breakdown, in pipeline order.
+    STAGE_LABELS = (
+        ("kernel", "kernel build"),
+        ("alloc", "allocation"),
+        ("dfg_schedule", "DFG + coverage"),
+        ("cycles", "cycle count"),
+        ("other", "timing/area/binding"),
+    )
+
+    def profile(self) -> str:
+        """The ``--profile`` per-stage breakdown, one line per stage."""
+        total = sum(self.stage_seconds.values())
+        if not total:
+            return "profile: no points evaluated (all cache hits?)"
+        lines = [f"profile: {total:.2f}s evaluation CPU over "
+                 f"{self.evaluated} points"]
+        known = {key for key, _ in self.STAGE_LABELS}
+        extras = [
+            (key, key) for key in sorted(self.stage_seconds)
+            if key not in known
+        ]
+        for key, label in (*self.STAGE_LABELS, *extras):
+            seconds = self.stage_seconds.get(key, 0.0)
+            lines.append(
+                f"  {label:<20} {seconds:8.2f}s  {seconds / total:6.1%}"
+            )
+        return "\n".join(lines)
+
 
 def _evaluate_chunk(
-    queries: "list[DesignQuery]", batch: bool
+    queries: "list[DesignQuery]", batch: bool, context: bool
 ) -> "list[DesignRecord]":
-    """Worker task: evaluate one chunk, crash-proof, one IPC round trip."""
-    return [evaluate_query_safe(query, batch=batch) for query in queries]
+    """Worker task: evaluate one chunk, crash-proof, one IPC round trip.
+
+    ``context`` is a plain flag here: each worker process uses (or
+    bypasses) its own process-global :class:`EvalContext` — memo stores
+    never cross process boundaries.
+    """
+    return [
+        evaluate_query_safe(query, batch=batch, context=context)
+        for query in queries
+    ]
 
 
 class Executor:
@@ -115,6 +159,17 @@ class Executor:
         Evaluate through the batched steady-state/boundary path (the
         default).  Batched and unbatched records are bit-identical, so
         they share the cache; ``--no-batch`` maps onto this flag.
+    context:
+        Evaluate on the shared-artifact plane
+        (:class:`~repro.explore.context.EvalContext`): DFGs, coverage
+        structures, pattern makespans, CPA-RA critical graphs and KS-RA
+        DP tables are memoized per process and shared across the grid.
+        ``False`` (CLI: ``--no-context``) disables the memos —
+        bit-identical records, reference speed.  An explicit
+        :class:`EvalContext` instance is honoured inline at ``jobs=1``
+        (benchmarks' controlled cold/warm runs); worker processes always
+        use their own process-global context.  Context scheduling also
+        packs chunks kernel-major so worker-local memos actually hit.
     shard:
         ``(index, count)`` or ``"index/count"``: evaluate only this
         run's digest-stable share of the space (1-based).  None (the
@@ -128,6 +183,7 @@ class Executor:
         reuse_cache: bool = True,
         chunksize: "int | None" = None,
         batch: bool = True,
+        context: "bool | EvalContext" = True,
         shard: "tuple[int, int] | str | None" = None,
     ):
         if jobs < 1:
@@ -141,6 +197,7 @@ class Executor:
         self.reuse_cache = reuse_cache
         self.chunksize = chunksize
         self.batch = batch
+        self.context = context
         self.shard = parse_shard(shard) if shard is not None else None
 
     def run(
@@ -201,6 +258,10 @@ class Executor:
                 progress(done, len(queries))
 
         ordered = tuple(records[i] for i in range(len(queries)))
+        stage_seconds: dict[str, float] = {}
+        for record in ordered:
+            for stage, spent in (record.stages or {}).items():
+                stage_seconds[stage] = stage_seconds.get(stage, 0.0) + spent
         stats = ExploreStats(
             total=len(queries),
             evaluated=len(pending),
@@ -210,6 +271,7 @@ class Executor:
             stale=stale,
             corrupt=corrupt,
             errors=sum(1 for r in ordered if r.crash),
+            stage_seconds=stage_seconds,
         )
         return ResultSet(ordered, stats)
 
@@ -222,13 +284,21 @@ class Executor:
             return
         if self.jobs == 1:
             for index, query in pending:
-                yield index, evaluate_query_safe(query, batch=self.batch)
+                yield index, evaluate_query_safe(
+                    query, batch=self.batch, context=self.context
+                )
             return
+        # An EvalContext instance cannot cross a process boundary; worker
+        # processes use their own process-global context instead.
+        context_flag = bool(self.context)
         chunks = self._plan(pending, timings)
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             futures = {
                 pool.submit(
-                    _evaluate_chunk, [q for _, q in chunk], self.batch
+                    _evaluate_chunk,
+                    [q for _, q in chunk],
+                    self.batch,
+                    context_flag,
                 ): chunk
                 for chunk in chunks
             }
@@ -253,6 +323,13 @@ class Executor:
         hits already decoded (zero extra I/O); only a run with no hits
         at all — e.g. one shard of a space whose siblings populated a
         shared cache — pays a directory scan to learn from them.
+
+        With the evaluation context enabled, chunks are packed
+        **kernel-major** (:func:`plan_chunks_by_kernel`): one kernel's
+        sub-grid lands in as few chunks as balance allows, so each
+        worker's process-local memos actually hit instead of every chunk
+        rebuilding every kernel's artifacts.  Kernels too small to fill
+        a chunk fall back to plain LPT merging.
         """
         if self.chunksize is not None:
             size = self.chunksize
@@ -264,11 +341,16 @@ class Executor:
             model.observe(query, seconds)
         if model.observations == 0:
             model = CostModel.from_cache(self.cache)
-        return plan_chunks(
-            pending,
-            cost=lambda item: model.estimate(item[1]),
-            bins=min(len(pending), self.jobs * 4),
-        )
+        bins = min(len(pending), self.jobs * 4)
+        cost = lambda item: model.estimate(item[1])  # noqa: E731
+        if self.context:
+            return plan_chunks_by_kernel(
+                pending,
+                cost=cost,
+                bins=bins,
+                key=lambda item: (item[1].kernel, item[1].kernel_json),
+            )
+        return plan_chunks(pending, cost=cost, bins=bins)
 
 
 def run_queries(
@@ -277,10 +359,11 @@ def run_queries(
     cache: "ResultCache | Path | str | None" = None,
     reuse_cache: bool = True,
     batch: bool = True,
+    context: "bool | EvalContext" = True,
     shard: "tuple[int, int] | str | None" = None,
 ) -> ResultSet:
     """One-call convenience wrapper around :class:`Executor`."""
     return Executor(
         jobs=jobs, cache=cache, reuse_cache=reuse_cache, batch=batch,
-        shard=shard,
+        context=context, shard=shard,
     ).run(queries)

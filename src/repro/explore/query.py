@@ -333,6 +333,10 @@ class DesignRecord:
     bookkeeping, not identity — excluded from equality and from
     :meth:`to_dict`, persisted only in the cache entry envelope so the
     cost model (:mod:`repro.explore.schedule`) can learn from it.
+    ``stages`` is the per-stage wall-time breakdown of the same
+    evaluation (kernel / alloc / dfg_schedule / cycles / other), equally
+    bookkeeping: excluded from equality, never serialized, aggregated by
+    :class:`~repro.explore.executor.ExploreStats` for ``--profile``.
     """
 
     query: DesignQuery
@@ -340,6 +344,7 @@ class DesignRecord:
     error_type: "str | None" = None
     traceback: "str | None" = None
     seconds: "float | None" = field(default=None, compare=False)
+    stages: "dict[str, float] | None" = field(default=None, compare=False)
     cycles: "int | None" = None
     total_ram_accesses: "int | None" = None
     memory_cycles: "int | None" = None

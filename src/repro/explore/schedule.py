@@ -35,7 +35,13 @@ from repro.explore.query import DesignQuery
 if TYPE_CHECKING:  # pragma: no cover
     from repro.explore.cache import ResultCache
 
-__all__ = ["CostModel", "plan_chunks", "static_cost", "ALLOCATOR_WEIGHT"]
+__all__ = [
+    "CostModel",
+    "plan_chunks",
+    "plan_chunks_by_kernel",
+    "static_cost",
+    "ALLOCATOR_WEIGHT",
+]
 
 T = TypeVar("T")
 
@@ -192,3 +198,63 @@ def plan_chunks(
         chunks[target].append(items[i])
         loads[target] += costs[i]
     return [chunk for chunk in chunks if chunk]
+
+
+def plan_chunks_by_kernel(
+    items: Sequence[T],
+    cost: Callable[[T], float],
+    bins: int,
+    key: Callable[[T], object],
+) -> "list[list[T]]":
+    """Kernel-major LPT: balanced chunks that keep one kernel together.
+
+    Plain LPT interleaves kernels freely, which is optimal for load
+    balance but terrible for the shared-artifact context: a worker chunk
+    mixing five kernels rebuilds five kernels' artifacts, then its
+    sibling chunks rebuild them again.  This packer first groups items by
+    ``key`` (the kernel identity), then:
+
+    * a kernel whose total cost is around one chunk's ideal share (or
+      less) stays whole — one macro-item;
+    * a kernel too heavy for a single chunk is pre-split by LPT into
+      just enough sub-chunks to stay balanced, each still
+      single-kernel;
+    * the resulting macro-items are LPT-packed into at most ``bins``
+      chunks — small kernels fall back to plain LPT packing and may
+      share a chunk (they did not fill one anyway).
+
+    Every chunk is therefore a concatenation of whole single-kernel
+    sub-grids; a worker's per-process context rebuilds each kernel's
+    artifacts at most once per chunk that touches it, and at most
+    ``ceil(kernel cost / ideal chunk share)`` times overall.
+    Deterministic for a fixed input (ties break on input order / lowest
+    chunk index, like :func:`plan_chunks`).
+    """
+    if bins < 1:
+        raise ReproError(f"chunk count must be >= 1, got {bins}")
+    if not items:
+        return []
+    groups: "dict[object, list[T]]" = {}
+    for item in items:
+        groups.setdefault(key(item), []).append(item)
+    total = sum(float(cost(item)) for item in items)
+    ideal = total / min(bins, len(items))
+    macro: "list[list[T]]" = []
+    for members in groups.values():
+        group_cost = sum(float(cost(item)) for item in members)
+        splits = 1
+        if ideal > 0 and group_cost > ideal:
+            splits = min(bins, len(members), round(group_cost / ideal))
+        if splits <= 1:
+            macro.append(members)
+        else:
+            macro.extend(plan_chunks(members, cost, splits))
+    packed = plan_chunks(
+        macro,
+        cost=lambda chunk: sum(float(cost(item)) for item in chunk),
+        bins=min(bins, len(macro)),
+    )
+    return [
+        [item for chunk in chunk_group for item in chunk]
+        for chunk_group in packed
+    ]

@@ -22,6 +22,7 @@ Total cycles also include:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,6 +36,9 @@ from repro.errors import SimulationError
 from repro.ir.kernel import Kernel
 from repro.scalar.coverage import GroupCoverage
 from repro.sim.scheduler import schedule_iteration
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.explore.context import EvalContext
 
 __all__ = ["CycleReport", "count_cycles"]
 
@@ -85,6 +89,7 @@ def count_cycles(
     anchors: "dict[str, str] | None" = None,
     batch: bool = True,
     coverages: "dict[str, GroupCoverage] | None" = None,
+    context: "EvalContext | None" = None,
 ) -> CycleReport:
     """Count execution cycles of ``kernel`` under ``allocation``.
 
@@ -96,9 +101,45 @@ def count_cycles(
     :class:`~repro.scalar.coverage.GroupCoverage`), and ``coverages``
     optionally shares pre-built coverage computers across repeated
     counts of the same design point (the pipeline's anchor search).
+
+    ``context`` (an :class:`~repro.explore.context.EvalContext`) memoizes
+    each distinct hit/miss pattern's scheduled makespan across the counts
+    of a sweep — the grid points of one kernel mostly re-encounter the
+    same patterns, so the DFG is re-scheduled only for genuinely new
+    ones.  Results are bit-identical with and without it.
     """
-    dfg = dfg or build_dfg(kernel, groups)
+    if dfg is None:
+        dfg = (
+            context.dfg(kernel, groups)
+            if context is not None
+            else build_dfg(kernel, groups)
+        )
     anchors = anchors or {}
+    memo_key = None
+    if context is not None:
+        if coverages is None:
+            coverages = context.coverages(kernel, groups, batch=batch)
+        # The full parameterization of this count.  ``batch`` is part of
+        # the key even though both paths are bit-identical by
+        # construction — excluding it would let a memoized batched
+        # report answer the unbatched differential oracle and mask a
+        # divergence the fuzz suite exists to catch.  The context
+        # additionally declines the memo when ``dfg``/``coverages`` are
+        # not its canonical artifacts for this kernel.
+        memo_key = (
+            context.model_fingerprint(model),
+            ram_ports,
+            overhead_per_iteration,
+            batch,
+            tuple((g.name, allocation.registers_for(g.name)) for g in groups),
+            tuple(sorted(anchors.items())),
+        )
+        memoized = context.get_cycle_report(
+            kernel, groups, memo_key, dfg=dfg, coverages=coverages,
+            batch=batch,
+        )
+        if memoized is not None:
+            return memoized
     shape = kernel.nest.trip_counts()
     space = int(np.prod(shape))
 
@@ -157,10 +198,16 @@ def count_cycles(
             uid: not bool((value >> bit) & 1)
             for uid, bit in node_channel.items()
         }
-        schedule = schedule_iteration(dfg, model, hit, ram_ports)
-        cost = schedule.makespan + overhead_per_iteration
+        if context is not None:
+            makespan, pattern_memory = context.schedule(
+                kernel, dfg, model, hit, ram_ports
+            )
+        else:
+            schedule = schedule_iteration(dfg, model, hit, ram_ports)
+            makespan, pattern_memory = schedule.makespan, schedule.memory_cycles
+        cost = makespan + overhead_per_iteration
         in_loop += cost * count
-        memory_cycles += schedule.memory_cycles * count
+        memory_cycles += pattern_memory * count
         misses = tuple(
             f"{channels[bit][0]}:{channels[bit][1]}"
             for bit in range(len(channels))
@@ -172,13 +219,19 @@ def count_cycles(
         raise SimulationError("pattern classification lost iterations")
 
     epilogue = writebacks * model.ram_latency
-    return CycleReport(
+    report = CycleReport(
         in_loop_cycles=in_loop,
         epilogue_cycles=epilogue,
         memory_cycles=memory_cycles + epilogue,
         ram_accesses=ram_accesses,
         pattern_counts=tuple(pattern_rows),
     )
+    if memo_key is not None:
+        context.put_cycle_report(
+            kernel, groups, memo_key, report, dfg=dfg, coverages=coverages,
+            batch=batch,
+        )
+    return report
 
 
 def _has_active_read(group: RefGroup) -> bool:

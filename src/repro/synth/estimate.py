@@ -7,9 +7,13 @@ takes a kernel and an allocation and produces the fully populated
 
 from __future__ import annotations
 
+import time
+from typing import TYPE_CHECKING
+
 from repro.analysis.groups import RefGroup, build_groups
 from repro.core.allocation import Allocation
 from repro.dfg.build import build_dfg
+from repro.dfg.graph import DataFlowGraph
 from repro.dfg.latency import LatencyModel
 from repro.dfg.nodes import OpNode, ReadNode
 from repro.hw.binding import bind_arrays
@@ -21,7 +25,27 @@ from repro.synth.area import estimate_area
 from repro.synth.design import HardwareDesign
 from repro.synth.timing import estimate_clock
 
-__all__ = ["build_design", "classify_operand_storage"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.explore.context import EvalContext
+
+__all__ = ["build_design", "charge_stage", "classify_operand_storage"]
+
+
+def charge_stage(
+    stages: "dict[str, float] | None", name: str, since: float
+) -> float:
+    """Charge the time since ``since`` to ``stages[name]``; return now.
+
+    The one accumulator behind the ``--profile`` breakdown; both this
+    module and :mod:`repro.explore.evaluate` charge their stages through
+    it so the per-stage numbers merged into
+    :attr:`~repro.explore.executor.ExploreStats.stage_seconds` cannot
+    drift apart in methodology.
+    """
+    now = time.perf_counter()
+    if stages is not None:
+        stages[name] = stages.get(name, 0.0) + (now - since)
+    return now
 
 
 def classify_operand_storage(
@@ -51,6 +75,10 @@ def build_design(
     ram_ports: int | None = None,
     overhead_per_iteration: int = 1,
     batch: bool = True,
+    dfg: "DataFlowGraph | None" = None,
+    coverages: "dict[str, GroupCoverage] | None" = None,
+    context: "EvalContext | None" = None,
+    stages: "dict[str, float] | None" = None,
 ) -> HardwareDesign:
     """Evaluate one (kernel, allocation) design point.
 
@@ -64,13 +92,31 @@ def build_design(
     ``batch`` selects the steady-state/boundary batched evaluation paths
     (the default); results are bit-identical either way — ``batch=False``
     is the reference path the fuzz suite differences against.
+
+    ``dfg``/``coverages`` accept prebuilt artifacts, and ``context`` (an
+    :class:`~repro.explore.context.EvalContext`) supplies them — plus
+    per-pattern schedule memoization inside the cycle counter — when the
+    caller does not; all three leave results bit-identical.  ``stages``
+    optionally accumulates the ``--profile`` wall-time breakdown.
     """
+    started = time.perf_counter()
     groups = groups if groups is not None else build_groups(kernel)
     model = model or LatencyModel.realistic(ram_latency=2)
     ram_ports = ram_ports if ram_ports is not None else device.bram_ports
-    dfg = build_dfg(kernel, groups)
+    if dfg is None:
+        dfg = (
+            context.dfg(kernel, groups)
+            if context is not None
+            else build_dfg(kernel, groups)
+        )
 
-    coverages = {g.name: GroupCoverage(kernel, g, batch=batch) for g in groups}
+    if coverages is None:
+        if context is not None:
+            coverages = context.coverages(kernel, groups, batch=batch)
+        else:
+            coverages = {
+                g.name: GroupCoverage(kernel, g, batch=batch) for g in groups
+            }
     storage_class = {
         g.name: classify_operand_storage(
             g, coverages[g.name], allocation.registers_for(g.name)
@@ -79,6 +125,7 @@ def build_design(
     }
     partial_groups = sum(1 for cls in storage_class.values() if cls == "both")
     mixed_ops = _count_mixed_operand_ops(dfg, storage_class)
+    mark = charge_stage(stages, "dfg_schedule", started)
 
     cycles = _count_with_best_anchors(
         kernel,
@@ -91,7 +138,9 @@ def build_design(
         coverages,
         storage_class,
         batch,
+        context,
     )
+    mark = charge_stage(stages, "cycles", mark)
 
     timing = estimate_clock(
         dfg,
@@ -108,6 +157,7 @@ def build_design(
 
     ram_resident = _ram_resident_arrays(kernel, groups, storage_class)
     binding = bind_arrays(kernel, ram_resident, device)
+    charge_stage(stages, "other", mark)
 
     return HardwareDesign(
         kernel_name=kernel.name,
@@ -131,6 +181,7 @@ def _count_with_best_anchors(
     coverages,
     storage_class,
     batch=True,
+    context=None,
 ):
     """Coverage-placement pass: choose pinned anchors minimizing cycles.
 
@@ -166,6 +217,7 @@ def _count_with_best_anchors(
             anchors=anchors,
             batch=batch,
             coverages=coverages,
+            context=context,
         )
         if best is None or report.total_cycles < best.total_cycles:
             best = report

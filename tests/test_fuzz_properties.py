@@ -151,6 +151,48 @@ def test_fuzz_full_design_batched_equals_unbatched(seed):
         assert fast.slices == slow.slices
 
 
+@pytest.mark.parametrize("seed", range(0, 120, 10))
+def test_fuzz_context_equals_no_context(seed):
+    """Shared-artifact evaluation is bit-identical on random kernels.
+
+    One :class:`EvalContext` is reused across all seeds on purpose: the
+    embedded-JSON kernel keys, the LRU and the per-kernel artifact
+    bundles must never leak one random kernel's artifacts into
+    another's records.
+    """
+    import dataclasses
+
+    from repro.explore import DesignQuery, EvalContext
+    from repro.explore.evaluate import evaluate_query
+
+    ctx = _shared_fuzz_context()
+    case = random_case(seed)
+    for algorithm in ALGORITHMS:
+        query = DesignQuery.from_kernel(case.kernel, algorithm, case.budget)
+        reference = evaluate_query(query, context=False)
+        contexted = evaluate_query(query, context=ctx)
+        rerun = evaluate_query(query, context=ctx)  # warm artifacts
+        for record in (contexted, rerun):
+            for f in dataclasses.fields(type(reference)):
+                if not f.compare:
+                    continue
+                assert getattr(record, f.name) == getattr(reference, f.name), (
+                    f"seed {seed}/{algorithm}: context diverged on {f.name}"
+                )
+
+
+def _shared_fuzz_context():
+    from repro.explore import EvalContext
+
+    global _FUZZ_CONTEXT
+    if _FUZZ_CONTEXT is None:
+        _FUZZ_CONTEXT = EvalContext(kernel_memo_size=4)
+    return _FUZZ_CONTEXT
+
+
+_FUZZ_CONTEXT = None
+
+
 def test_fuzz_generator_is_deterministic():
     for seed in (0, 7, 42):
         assert random_kernel(seed) == random_kernel(seed)
