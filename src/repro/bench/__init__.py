@@ -8,7 +8,15 @@ from repro.bench.example import (
     figure2_report,
 )
 from repro.bench.formatting import render_table
-from repro.bench.perf import PerfReport, perf_grid, render_perf, run_perf
+from repro.bench.perf import (
+    CompareRow,
+    PerfReport,
+    compare_reports,
+    perf_grid,
+    render_compare,
+    render_perf,
+    run_perf,
+)
 from repro.bench.sweeps import (
     BudgetPoint,
     ResidencyPoint,
@@ -21,10 +29,13 @@ from repro.bench.table1 import Table1, Table1Row, generate_table1, render_table1
 
 __all__ = [
     "BudgetPoint",
+    "CompareRow",
     "Figure2Report",
     "Figure2Row",
     "PAPER_TMEM",
     "PerfReport",
+    "compare_reports",
+    "render_compare",
     "ResidencyPoint",
     "Table1",
     "Table1Row",

@@ -1,6 +1,6 @@
 """Tracked microbenchmark harness for the evaluation hot path.
 
-Times the three regimes that matter for sweep throughput and writes the
+Times the regimes that matter for sweep throughput and writes the
 machine-readable ``BENCH_<n>.json`` the repo's perf trajectory tracks:
 
 * **single point** — one representative :class:`DesignQuery`, evaluated
@@ -11,14 +11,21 @@ machine-readable ``BENCH_<n>.json`` the repo's perf trajectory tracks:
   ``jobs=1``, run without a context (the seed evaluator's behaviour),
   with a *cold* context (first sweep of a fresh process) and again with
   the now-*warm* context (resumed / repeated sweeps);
+* **trace engine** — the *cold* cost of one point of every
+  window-heavy kernel under the array trace engine vs the reference
+  residency simulators (``--no-array-trace``), context off, so the
+  number isolates the per-kernel analysis bill the array engine
+  attacks;
 * **equivalence** — the no-context and context grids are compared
   record for record; a benchmark that got fast by changing answers
   fails loudly (``identical`` must be true).
 
 Run it via ``repro perf`` (``--quick`` for the CI smoke grid,
-``--min-speedup X`` to fail the run when the warm-context grid is not at
-least ``X`` times faster than the no-context baseline).  See
-``docs/perf.md`` for how to read the emitted JSON.
+``--min-speedup X`` / ``--min-trace-speedup X`` to fail below speedup
+floors).  ``repro perf --compare OLD.json NEW.json`` diffs two emitted
+reports metric by metric — host-independent speedup *ratios* gate the
+comparison (non-zero exit on a regression beyond ``--threshold``),
+absolute seconds print as context.  See ``docs/perf.md``.
 """
 
 from __future__ import annotations
@@ -39,14 +46,17 @@ from repro.explore.space import ExplorationSpace
 __all__ = [
     "BENCH_NUMBER",
     "PerfReport",
+    "CompareRow",
     "perf_grid",
     "run_perf",
     "render_perf",
     "write_report",
+    "compare_reports",
+    "render_compare",
 ]
 
-#: Sequence number of this harness's output file (``BENCH_4.json``).
-BENCH_NUMBER = 4
+#: Sequence number of this harness's output file (``BENCH_5.json``).
+BENCH_NUMBER = 5
 
 #: The Table-1-shaped reference grid: 4 kernels x 5 allocators x 16
 #: budgets = 320 points, matching the acceptance target of the
@@ -63,6 +73,16 @@ QUICK_BUDGETS = (8, 16, 24, 32)
 #: The single-point subject: a mid-ladder CPA-RA point of the running
 #: example's kernel family (DFG + coverage + anchor search all active).
 SINGLE_POINT = DesignQuery(kernel="pat", allocator="CPA-RA", budget=16)
+
+#: Window-heavy kernels whose cold per-point cost is dominated by the
+#: residency simulation — the subjects of the trace-engine comparison.
+TRACE_KERNELS = ("fir", "pat", "decfir")
+QUICK_TRACE_KERNELS = ("fir", "pat")
+
+#: Ratio metrics regress when ``new * threshold < old``; this is the
+#: default ``--threshold`` (loose on purpose: ratios wobble with host
+#: load even though they cancel absolute speed).
+COMPARE_THRESHOLD = 1.5
 
 
 def perf_grid(quick: bool = False) -> ExplorationSpace:
@@ -94,6 +114,9 @@ class PerfReport:
     single_repeats: int
     identical: bool
     context_stats: dict[str, int] = field(default_factory=dict)
+    #: kernel -> {"reference": seconds, "array": seconds}: cold
+    #: single-point evaluation under each trace engine, context off.
+    trace_single: "dict[str, dict[str, float]]" = field(default_factory=dict)
 
     @property
     def speedup_cold(self) -> float:
@@ -107,11 +130,22 @@ class PerfReport:
     def speedup_single(self) -> float:
         return self.single_no_context / self.single_warm_context
 
+    def trace_speedup(self, kernel: str) -> float:
+        timings = self.trace_single[kernel]
+        return timings["reference"] / timings["array"]
+
+    @property
+    def best_trace_speedup(self) -> float:
+        """The largest per-kernel array-engine speedup (0 when unmeasured)."""
+        if not self.trace_single:
+            return 0.0
+        return max(self.trace_speedup(k) for k in self.trace_single)
+
     def to_dict(self) -> dict:
         grid = perf_grid(self.quick)
         return {
             "bench": BENCH_NUMBER,
-            "name": "shared-artifact evaluation plane",
+            "name": "vectorized trace engine",
             "quick": self.quick,
             "grid": {
                 "kernels": list(grid.kernels),
@@ -130,6 +164,14 @@ class PerfReport:
                 "grid_cold_vs_no_context": self.speedup_cold,
                 "grid_warm_vs_no_context": self.speedup_warm,
                 "single_point_warm_vs_no_context": self.speedup_single,
+            },
+            "trace_single": {
+                kernel: {
+                    "reference_s": timings["reference"],
+                    "array_s": timings["array"],
+                    "speedup": self.trace_speedup(kernel),
+                }
+                for kernel, timings in self.trace_single.items()
             },
             "single_repeats": self.single_repeats,
             "identical": self.identical,
@@ -151,14 +193,40 @@ def _time_grid(
 
 
 def _time_single(
-    query: DesignQuery, context: "bool | EvalContext", repeats: int
+    query: DesignQuery,
+    context: "bool | EvalContext",
+    repeats: int,
+    trace_engine: str = "array",
 ) -> float:
     best = float("inf")
     for _ in range(repeats):
         started = time.perf_counter()
-        evaluate_query(query, context=context)
+        evaluate_query(query, context=context, trace_engine=trace_engine)
         best = min(best, time.perf_counter() - started)
     return best
+
+
+def _time_trace_engines(
+    kernels: "tuple[str, ...]", repeats: int
+) -> "dict[str, dict[str, float]]":
+    """Cold single-point seconds per trace engine, per window kernel.
+
+    Context off, so every repeat pays the full per-kernel analysis —
+    the cost the array engine exists to cut.  One throwaway evaluation
+    first warms the process kernel memo both engines share, so neither
+    engine is charged for kernel construction.
+    """
+    timings: dict[str, dict[str, float]] = {}
+    for kernel in kernels:
+        query = DesignQuery(kernel=kernel, allocator="CPA-RA", budget=16)
+        evaluate_query(query, context=False)
+        timings[kernel] = {
+            engine: _time_single(
+                query, False, repeats, trace_engine=engine
+            )
+            for engine in ("reference", "array")
+        }
+    return timings
 
 
 def run_perf(quick: bool = False, single_repeats: int = 5) -> PerfReport:
@@ -183,6 +251,10 @@ def run_perf(quick: bool = False, single_repeats: int = 5) -> PerfReport:
     evaluate_query(SINGLE_POINT, context=single_ctx)
     single_warm = _time_single(SINGLE_POINT, single_ctx, single_repeats)
 
+    trace_single = _time_trace_engines(
+        QUICK_TRACE_KERNELS if quick else TRACE_KERNELS, single_repeats
+    )
+
     return PerfReport(
         quick=quick,
         points=space.size,
@@ -194,6 +266,7 @@ def run_perf(quick: bool = False, single_repeats: int = 5) -> PerfReport:
         single_repeats=single_repeats,
         identical=identical,
         context_stats=ctx.stats.as_dict(),
+        trace_single=trace_single,
     )
 
 
@@ -210,8 +283,14 @@ def render_perf(report: PerfReport) -> str:
         f"  single point  {report.single_no_context * 1e3:8.2f}ms -> "
         f"{report.single_warm_context * 1e3:.2f}ms warm "
         f"({report.speedup_single:.2f}x, best of {report.single_repeats})",
-        f"  records bit-identical: {report.identical}",
     ]
+    for kernel, timings in report.trace_single.items():
+        lines.append(
+            f"  trace {kernel:<7} {timings['reference'] * 1e3:8.2f}ms -> "
+            f"{timings['array'] * 1e3:.2f}ms array "
+            f"({report.trace_speedup(kernel):.2f}x cold, context off)"
+        )
+    lines.append(f"  records bit-identical: {report.identical}")
     return "\n".join(lines)
 
 
@@ -220,3 +299,131 @@ def write_report(report: PerfReport, out: "Path | str") -> Path:
     path = Path(out)
     path.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
     return path
+
+
+# -- report comparison ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompareRow:
+    """One metric of two reports side by side.
+
+    ``kind`` is ``"ratio"`` for speedups (bigger is better) or
+    ``"seconds"`` for absolute timings (smaller is better); ``gates``
+    says whether this row can fail the comparison (see
+    :func:`compare_reports` for the rule) — non-gating rows print as
+    information only.
+    """
+
+    metric: str
+    old: float
+    new: float
+    kind: str
+    gates: bool = True
+
+    @property
+    def change(self) -> float:
+        """new/old for ratios, old/new for seconds — both >1 = better."""
+        if self.kind == "ratio":
+            return self.new / self.old if self.old else float("inf")
+        return self.old / self.new if self.new else float("inf")
+
+    def regressed(self, threshold: float) -> bool:
+        return self.gates and self.change * threshold < 1.0
+
+
+def _flat_ratios(doc: dict) -> "dict[str, float]":
+    """Every gating ratio metric of one report document, flattened."""
+    ratios = {
+        f"speedup.{key}": float(value)
+        for key, value in (doc.get("speedup") or {}).items()
+    }
+    for kernel, timings in (doc.get("trace_single") or {}).items():
+        if "speedup" in timings:
+            ratios[f"trace_single.{kernel}.speedup"] = float(
+                timings["speedup"]
+            )
+    return ratios
+
+
+def compare_reports(
+    old: dict, new: dict, threshold: float = COMPARE_THRESHOLD
+) -> "tuple[list[CompareRow], list[CompareRow]]":
+    """Diff two report documents; returns ``(rows, regressions)``.
+
+    Only metrics present in *both* documents are compared (the harness
+    grows new sections over time; ``BENCH_4.json`` has no trace-engine
+    block).  A metric regresses when the new report is more than
+    ``threshold`` times worse; which metrics *gate* depends on whether
+    the two reports measured the same grid (identical ``grid`` blocks):
+
+    * **same grid** — the committed ``BENCH_<n>.json`` trajectory:
+      absolute **seconds** gate (the honest comparison on one host) and
+      the speedup ratios print as information, because a ratio deflates
+      whenever its *baseline* gets faster — exactly what a perf PR
+      does — without anything having regressed;
+    * **different grids** (e.g. a ``--quick`` CI run vs the committed
+      full run): only the host-independent **ratio** metrics gate, and
+      the threshold should stay loose — grid shape shifts ratios too.
+    """
+    rows: list[CompareRow] = []
+    same_grid = (old.get("grid") or {}) == (new.get("grid") or {})
+    old_ratios, new_ratios = _flat_ratios(old), _flat_ratios(new)
+    for metric in sorted(old_ratios.keys() & new_ratios.keys()):
+        rows.append(
+            CompareRow(
+                metric, old_ratios[metric], new_ratios[metric], "ratio",
+                gates=not same_grid,
+            )
+        )
+    old_seconds = old.get("seconds") or {}
+    new_seconds = new.get("seconds") or {}
+    for key in sorted(old_seconds.keys() & new_seconds.keys()):
+        rows.append(
+            CompareRow(
+                f"seconds.{key}",
+                float(old_seconds[key]),
+                float(new_seconds[key]),
+                "seconds",
+                gates=same_grid,
+            )
+        )
+    regressions = [row for row in rows if row.regressed(threshold)]
+    return rows, regressions
+
+
+def render_compare(
+    rows: "list[CompareRow]",
+    old_label: str,
+    new_label: str,
+    threshold: float = COMPARE_THRESHOLD,
+) -> str:
+    """Human-readable regression/speedup table for two reports.
+
+    Verdicts are derived from ``threshold`` directly, so they cannot
+    disagree with the threshold printed in the title.
+    """
+    from repro.bench.formatting import render_table
+
+    regressions = [row for row in rows if row.regressed(threshold)]
+    body = []
+    for row in rows:
+        verdict = "REGRESSED" if row.regressed(threshold) else (
+            "ok" if row.gates else "info"
+        )
+        body.append([
+            row.metric,
+            f"{row.old:.4g}",
+            f"{row.new:.4g}",
+            f"{row.change:.2f}x",
+            verdict,
+        ])
+    table = render_table(
+        ["Metric", old_label, new_label, "Change", "Verdict"],
+        body,
+        title=f"perf compare (threshold {threshold:.2f}x on gated metrics)",
+    )
+    if regressions:
+        names = ", ".join(row.metric for row in regressions)
+        return table + f"\nperf: FAIL — regressed beyond {threshold:.2f}x: {names}"
+    return table + "\nperf: no regressions on gated metrics"

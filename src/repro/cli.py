@@ -142,6 +142,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         batch=not args.no_batch,
         context=not args.no_context,
         shard=args.shard,
+        trace_engine="reference" if args.no_array_trace else "array",
     )
     results = executor.run(space)
     if args.format == "json":
@@ -160,7 +161,28 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
-    from repro.bench.perf import render_perf, run_perf, write_report
+    from repro.bench.perf import (
+        compare_reports,
+        render_compare,
+        render_perf,
+        run_perf,
+        write_report,
+    )
+
+    if args.compare:
+        import json
+        from pathlib import Path
+
+        old_path, new_path = (Path(p) for p in args.compare)
+        old_doc = json.loads(old_path.read_text())
+        new_doc = json.loads(new_path.read_text())
+        rows, regressions = compare_reports(
+            old_doc, new_doc, threshold=args.threshold
+        )
+        print(render_compare(
+            rows, old_path.name, new_path.name, threshold=args.threshold,
+        ))
+        return 1 if regressions else 0
 
     report = run_perf(quick=args.quick, single_repeats=args.repeats)
     print(render_perf(report))
@@ -178,6 +200,17 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         print(
             f"perf: FAIL — warm-context grid speedup {report.speedup_warm:.2f}x "
             f"is below the required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_trace_speedup is not None
+        and report.best_trace_speedup < args.min_trace_speedup
+    ):
+        print(
+            f"perf: FAIL — best trace-engine speedup "
+            f"{report.best_trace_speedup:.2f}x is below the required "
+            f"{args.min_trace_speedup:.2f}x",
             file=sys.stderr,
         )
         return 1
@@ -292,6 +325,11 @@ def main(argv: "list[str] | None" = None) -> int:
         "path; results are bit-identical either way)",
     )
     p_explore.add_argument(
+        "--no-array-trace", action="store_true",
+        help="disable the vectorized trace engine and run the reference "
+        "residency simulators (results are bit-identical either way)",
+    )
+    p_explore.add_argument(
         "--profile", action="store_true",
         help="print a per-stage wall-time breakdown (kernel build / "
         "allocation / DFG+coverage / cycle count) of the evaluated points",
@@ -302,7 +340,8 @@ def main(argv: "list[str] | None" = None) -> int:
 
     p_perf = sub.add_parser(
         "perf",
-        help="run the tracked microbenchmark harness (emits BENCH_4.json)",
+        help="run the tracked microbenchmark harness (emits BENCH_5.json) "
+        "or compare two emitted reports",
     )
     p_perf.add_argument(
         "--quick", action="store_true",
@@ -310,7 +349,7 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     p_perf.add_argument(
         "--out", default=None, metavar="PATH",
-        help="write the JSON report here (e.g. BENCH_4.json)",
+        help="write the JSON report here (e.g. BENCH_5.json)",
     )
     p_perf.add_argument(
         "--repeats", type=int, default=5,
@@ -320,6 +359,24 @@ def main(argv: "list[str] | None" = None) -> int:
         "--min-speedup", type=float, default=None, metavar="X",
         help="exit non-zero unless the warm-context grid is at least X "
         "times faster than the no-context baseline",
+    )
+    p_perf.add_argument(
+        "--min-trace-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless the array trace engine beats the "
+        "reference simulators by at least X on some window kernel",
+    )
+    p_perf.add_argument(
+        "--compare", nargs=2, default=None, metavar=("OLD.json", "NEW.json"),
+        help="compare two emitted reports instead of running: per-metric "
+        "regression/speedup table, non-zero exit when a host-independent "
+        "ratio metric regressed beyond --threshold",
+    )
+    from repro.bench.perf import COMPARE_THRESHOLD
+
+    p_perf.add_argument(
+        "--threshold", type=float, default=COMPARE_THRESHOLD, metavar="X",
+        help="--compare regression threshold on gated metrics (a metric "
+        f"more than X times worse fails; default {COMPARE_THRESHOLD})",
     )
     p_perf.set_defaults(func=_cmd_perf)
 

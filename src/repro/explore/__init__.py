@@ -38,8 +38,10 @@ See ``docs/explore.md`` for the full API, the cache layout and the
 from repro.explore.batch import (
     BatchMismatch,
     compare_batched,
+    compare_trace_engines,
     iteration_classes,
     verify_batch_equivalence,
+    verify_trace_equivalence,
 )
 from repro.explore.cache import CacheCorruptionWarning, ResultCache
 from repro.explore.context import (
@@ -87,6 +89,7 @@ __all__ = [
     "VersionRegistry",
     "code_version",
     "compare_batched",
+    "compare_trace_engines",
     "default_registry",
     "evaluate_query",
     "evaluate_query_safe",
@@ -104,4 +107,5 @@ __all__ = [
     "shard_queries",
     "static_cost",
     "verify_batch_equivalence",
+    "verify_trace_equivalence",
 ]

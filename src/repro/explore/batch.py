@@ -40,7 +40,9 @@ from repro.explore.query import DesignQuery, DesignRecord
 __all__ = [
     "BatchMismatch",
     "compare_batched",
+    "compare_trace_engines",
     "verify_batch_equivalence",
+    "verify_trace_equivalence",
     "iteration_classes",
 ]
 
@@ -61,21 +63,42 @@ class BatchMismatch:
         )
 
 
-def compare_batched(query: DesignQuery) -> list[BatchMismatch]:
-    """Evaluate ``query`` both ways; list every differing record field."""
-    batched = evaluate_query(query, batch=True)
-    unbatched = evaluate_query(query, batch=False)
+def _diff_records(
+    query: DesignQuery, left: "Any", right: "Any"
+) -> list[BatchMismatch]:
     mismatches: list[BatchMismatch] = []
     for field in dataclasses.fields(DesignRecord):
         if field.name == "query" or not field.compare:
             # compare=False fields (seconds, stages) are run bookkeeping,
             # not results.
             continue
-        left = getattr(batched, field.name)
-        right = getattr(unbatched, field.name)
-        if left != right:
-            mismatches.append(BatchMismatch(query, field.name, left, right))
+        a = getattr(left, field.name)
+        b = getattr(right, field.name)
+        if a != b:
+            mismatches.append(BatchMismatch(query, field.name, a, b))
     return mismatches
+
+
+def compare_batched(query: DesignQuery) -> list[BatchMismatch]:
+    """Evaluate ``query`` both ways; list every differing record field."""
+    batched = evaluate_query(query, batch=True)
+    unbatched = evaluate_query(query, batch=False)
+    return _diff_records(query, batched, unbatched)
+
+
+def compare_trace_engines(
+    query: DesignQuery, batch: bool = True
+) -> list[BatchMismatch]:
+    """Evaluate ``query`` under both trace engines; diff the records.
+
+    The array engine must be bit-identical to the reference engine at
+    either ``batch`` setting — this is the record-level audit the
+    acceptance tests and the fuzz suite drive, mirroring
+    :func:`compare_batched`.
+    """
+    fast = evaluate_query(query, batch=batch, trace_engine="array")
+    slow = evaluate_query(query, batch=batch, trace_engine="reference")
+    return _diff_records(query, fast, slow)
 
 
 def verify_batch_equivalence(
@@ -88,8 +111,18 @@ def verify_batch_equivalence(
     return mismatches
 
 
+def verify_trace_equivalence(
+    queries: "Iterable[DesignQuery]", batch: bool = True
+) -> list[BatchMismatch]:
+    """Array-vs-reference mismatches over a query list (empty = clean)."""
+    mismatches: list[BatchMismatch] = []
+    for query in queries:
+        mismatches.extend(compare_trace_engines(query, batch=batch))
+    return mismatches
+
+
 def iteration_classes(
-    query: DesignQuery, batch: bool = True
+    query: DesignQuery, batch: bool = True, trace_engine: str = "array"
 ) -> tuple[tuple[tuple[str, ...], int, int], ...]:
     """The joint hit/miss pattern classes of one design point.
 
@@ -101,5 +134,5 @@ def iteration_classes(
     """
     from repro.explore.evaluate import design_for
 
-    design, _ = design_for(query, batch=batch)
+    design, _ = design_for(query, batch=batch, trace_engine=trace_engine)
     return design.cycles.pattern_counts

@@ -21,7 +21,7 @@ memo                          key
 kernel + reference groups     ``(kernel_name, kernel_json)``
 body DFG                      the kernel bundle (DFG depends only on
                               kernel + groups)
-coverage computers            ``(kernel bundle, batch)`` — one
+coverage computers            ``(kernel bundle, batch, trace engine)`` — one
                               :class:`~repro.scalar.coverage.GroupCoverage`
                               per group, which itself memoizes results per
                               ``(registers, anchor)``
@@ -147,8 +147,8 @@ class _KernelArtifacts:
     kernel: "Kernel"
     groups: "tuple[RefGroup, ...]"
     dfg: "DataFlowGraph | None" = None
-    #: batch flag -> {group name -> GroupCoverage}
-    coverages: "dict[bool, dict[str, GroupCoverage]]" = field(
+    #: (batch flag, trace engine) -> {group name -> GroupCoverage}
+    coverages: "dict[tuple, dict[str, GroupCoverage]]" = field(
         default_factory=dict
     )
     #: (model fp, ram_ports, frozen hit pattern) -> (makespan, memory_cycles)
@@ -291,29 +291,37 @@ class EvalContext:
         kernel: "Kernel",
         groups: "tuple[RefGroup, ...] | None" = None,
         batch: bool = True,
+        trace_engine: str = "array",
     ) -> "dict[str, GroupCoverage]":
         """Shared coverage computers for every group of ``kernel``.
 
         The returned :class:`GroupCoverage` objects memoize their own
         results per ``(registers, anchor)``, so sharing them across the
         budget/allocator axes is where a sweep's rank/Belady work
-        collapses to once-per-kernel.  Callers must treat the dict as
-        read-only.
+        collapses to once-per-kernel.  Computers are keyed by
+        ``(batch, trace_engine)``: the combinations are bit-identical,
+        but each must build its own artifacts so the differential
+        oracles never answer from the path under test.  Callers must
+        treat the dict as read-only.
         """
         bundle = self._bundle_for(kernel, groups)
         if bundle is None:
             self.stats.coverage_misses += 1
             return {
-                g.name: GroupCoverage(kernel, g, batch=batch) for g in groups
+                g.name: GroupCoverage(kernel, g, batch=batch, engine=trace_engine)
+                for g in groups
             }
-        shared = bundle.coverages.get(batch)
+        key = (batch, trace_engine)
+        shared = bundle.coverages.get(key)
         if shared is None:
             self.stats.coverage_misses += 1
             shared = {
-                g.name: GroupCoverage(bundle.kernel, g, batch=batch)
+                g.name: GroupCoverage(
+                    bundle.kernel, g, batch=batch, engine=trace_engine
+                )
                 for g in bundle.groups
             }
-            bundle.coverages[batch] = shared
+            bundle.coverages[key] = shared
         else:
             self.stats.coverage_hits += 1
         return shared
@@ -432,6 +440,7 @@ class EvalContext:
         dfg: DataFlowGraph,
         coverages: "dict[str, GroupCoverage] | None",
         batch: bool,
+        trace_engine: str = "array",
     ) -> "object | None":
         """A memoized :class:`~repro.sim.cycles.CycleReport`, or None.
 
@@ -446,7 +455,9 @@ class EvalContext:
         answered from it).  Reports are frozen; consumers must not
         mutate ``ram_accesses``.
         """
-        bundle = self._report_bundle(kernel, groups, dfg, coverages, batch)
+        bundle = self._report_bundle(
+            kernel, groups, dfg, coverages, batch, trace_engine
+        )
         if bundle is None:
             return None
         report = bundle.cycle_reports.get(key)
@@ -465,9 +476,12 @@ class EvalContext:
         dfg: DataFlowGraph,
         coverages: "dict[str, GroupCoverage] | None",
         batch: bool,
+        trace_engine: str = "array",
     ) -> None:
         """Store a computed report under its full-parameterization key."""
-        bundle = self._report_bundle(kernel, groups, dfg, coverages, batch)
+        bundle = self._report_bundle(
+            kernel, groups, dfg, coverages, batch, trace_engine
+        )
         if bundle is not None:
             bundle.cycle_reports[key] = report
 
@@ -478,6 +492,7 @@ class EvalContext:
         dfg: DataFlowGraph,
         coverages: "dict[str, GroupCoverage] | None",
         batch: bool,
+        trace_engine: str,
     ) -> "_KernelArtifacts | None":
         """The bundle a cycle-report may memoize against, or None."""
         bundle = self._by_object.get(id(kernel))
@@ -488,7 +503,7 @@ class EvalContext:
         if dfg is not bundle.dfg:
             return None
         if coverages is not None and (
-            coverages is not bundle.coverages.get(batch)
+            coverages is not bundle.coverages.get((batch, trace_engine))
         ):
             return None
         return bundle

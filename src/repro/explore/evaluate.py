@@ -74,6 +74,7 @@ def design_for(
     batch: bool = True,
     context: "bool | EvalContext | None" = True,
     stages: "dict[str, float] | None" = None,
+    trace_engine: str = "array",
 ) -> "tuple[HardwareDesign, Device]":
     """The fully evaluated design of one query (raises on domain errors).
 
@@ -83,8 +84,12 @@ def design_for(
     callers.
 
     ``stages``, when given, accumulates per-stage wall seconds under the
-    keys ``kernel`` / ``alloc`` / ``dfg_schedule`` / ``cycles`` /
-    ``other`` (the ``--profile`` breakdown).
+    keys ``kernel`` / ``alloc`` / ``dfg_schedule`` / ``trace`` /
+    ``cycles`` / ``other`` (the ``--profile`` breakdown).
+    ``trace_engine`` selects the residency-simulator implementation
+    (``"array"`` — the vectorized default — or ``"reference"``, the
+    oracle; records are bit-identical either way, so the cache is
+    shared between them like it is across ``batch``).
     """
     ctx = resolve_context(context)
     started = time.perf_counter()
@@ -108,6 +113,7 @@ def design_for(
         batch=batch,
         context=ctx,
         stages=stages,
+        trace_engine=trace_engine,
     )
     return design, device
 
@@ -116,6 +122,7 @@ def evaluate_query(
     query: DesignQuery,
     batch: bool = True,
     context: "bool | EvalContext | None" = True,
+    trace_engine: str = "array",
 ) -> DesignRecord:
     """Run the full pipeline for one design point.
 
@@ -125,7 +132,8 @@ def evaluate_query(
     stages: dict[str, float] = {}
     try:
         design, device = design_for(
-            query, batch=batch, context=context, stages=stages
+            query, batch=batch, context=context, stages=stages,
+            trace_engine=trace_engine,
         )
     except ReproError as exc:
         return replace(DesignRecord.failed(query, exc), stages=stages)
@@ -137,6 +145,7 @@ def evaluate_query_safe(
     query: DesignQuery,
     batch: bool = True,
     context: "bool | EvalContext | None" = True,
+    trace_engine: str = "array",
 ) -> DesignRecord:
     """Like :func:`evaluate_query`, but crash-proof and timed.
 
@@ -149,7 +158,9 @@ def evaluate_query_safe(
     """
     started = time.perf_counter()
     try:
-        record = evaluate_query(query, batch=batch, context=context)
+        record = evaluate_query(
+            query, batch=batch, context=context, trace_engine=trace_engine
+        )
     except Exception as exc:  # noqa: BLE001 — the whole point
         record = DesignRecord.crashed(query, exc)
     return replace(record, seconds=time.perf_counter() - started)

@@ -63,10 +63,13 @@ class ExploreStats:
     could not be decoded (each also warned as it was read).
 
     ``stage_seconds`` aggregates the evaluated points' per-stage wall
-    times (kernel build / allocation / DFG+coverage / cycle count /
-    other) — CPU seconds spent inside evaluation, summed across workers,
-    so with ``jobs>1`` the total exceeds the sweep's wall ``seconds``.
-    Cache hits contribute nothing (they did no stage work this run).
+    times (kernel build / allocation / DFG+coverage / trace engine /
+    cycle count / other) — CPU seconds spent inside evaluation, summed
+    across workers, so with ``jobs>1`` the total exceeds the sweep's
+    wall ``seconds``.  The ``trace`` stage is the residency-simulation
+    share split out of the cycle count, so the trace engine's cost is
+    visible before/after an engine change.  Cache hits contribute
+    nothing (they did no stage work this run).
     """
 
     total: int
@@ -97,6 +100,7 @@ class ExploreStats:
         ("kernel", "kernel build"),
         ("alloc", "allocation"),
         ("dfg_schedule", "DFG + coverage"),
+        ("trace", "trace engine"),
         ("cycles", "cycle count"),
         ("other", "timing/area/binding"),
     )
@@ -122,7 +126,8 @@ class ExploreStats:
 
 
 def _evaluate_chunk(
-    queries: "list[DesignQuery]", batch: bool, context: bool
+    queries: "list[DesignQuery]", batch: bool, context: bool,
+    trace_engine: str,
 ) -> "list[DesignRecord]":
     """Worker task: evaluate one chunk, crash-proof, one IPC round trip.
 
@@ -131,7 +136,9 @@ def _evaluate_chunk(
     never cross process boundaries.
     """
     return [
-        evaluate_query_safe(query, batch=batch, context=context)
+        evaluate_query_safe(
+            query, batch=batch, context=context, trace_engine=trace_engine
+        )
         for query in queries
     ]
 
@@ -159,6 +166,12 @@ class Executor:
         Evaluate through the batched steady-state/boundary path (the
         default).  Batched and unbatched records are bit-identical, so
         they share the cache; ``--no-batch`` maps onto this flag.
+    trace_engine:
+        Residency-simulator implementation: ``"array"`` (the vectorized
+        trace engine, the default) or ``"reference"`` (the oracle;
+        CLI: ``--no-array-trace``).  Records are bit-identical either
+        way, so the cache is shared across engines like it is across
+        ``batch``.
     context:
         Evaluate on the shared-artifact plane
         (:class:`~repro.explore.context.EvalContext`): DFGs, coverage
@@ -185,11 +198,19 @@ class Executor:
         batch: bool = True,
         context: "bool | EvalContext" = True,
         shard: "tuple[int, int] | str | None" = None,
+        trace_engine: str = "array",
     ):
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
         if chunksize is not None and chunksize < 1:
             raise ReproError(f"chunksize must be >= 1, got {chunksize}")
+        from repro.sim.residency import TRACE_ENGINES
+
+        if trace_engine not in TRACE_ENGINES:
+            raise ReproError(
+                f"unknown trace engine {trace_engine!r}; expected one of "
+                f"{TRACE_ENGINES}"
+            )
         self.jobs = jobs
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
@@ -198,6 +219,7 @@ class Executor:
         self.chunksize = chunksize
         self.batch = batch
         self.context = context
+        self.trace_engine = trace_engine
         self.shard = parse_shard(shard) if shard is not None else None
 
     def run(
@@ -285,7 +307,8 @@ class Executor:
         if self.jobs == 1:
             for index, query in pending:
                 yield index, evaluate_query_safe(
-                    query, batch=self.batch, context=self.context
+                    query, batch=self.batch, context=self.context,
+                    trace_engine=self.trace_engine,
                 )
             return
         # An EvalContext instance cannot cross a process boundary; worker
@@ -299,6 +322,7 @@ class Executor:
                     [q for _, q in chunk],
                     self.batch,
                     context_flag,
+                    self.trace_engine,
                 ): chunk
                 for chunk in chunks
             }
@@ -361,9 +385,10 @@ def run_queries(
     batch: bool = True,
     context: "bool | EvalContext" = True,
     shard: "tuple[int, int] | str | None" = None,
+    trace_engine: str = "array",
 ) -> ResultSet:
     """One-call convenience wrapper around :class:`Executor`."""
     return Executor(
         jobs=jobs, cache=cache, reuse_cache=reuse_cache, batch=batch,
-        context=context, shard=shard,
+        context=context, shard=shard, trace_engine=trace_engine,
     ).run(queries)

@@ -34,17 +34,39 @@ Coverage semantics (paper-faithful; see DESIGN.md section 5):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
 from repro.analysis.groups import RefGroup
 from repro.errors import AnalysisError
 from repro.ir.kernel import Kernel
-from repro.sim.residency import opt_trace
+from repro.sim.residency import TRACE_ENGINES, opt_trace
 
-__all__ = ["GroupCoverage", "CoverageResult", "coverage_for"]
+__all__ = [
+    "GroupCoverage",
+    "CoverageResult",
+    "coverage_for",
+    "trace_engine_seconds",
+]
+
+#: Process-global wall seconds spent inside the trace-engine work —
+#: window Belady traces and region-rank classification.  ``build_design``
+#: snapshots it around the cycle count to split a distinct ``trace``
+#: stage out of the ``--profile`` breakdown, so the residency share of
+#: evaluation time is visible without an external profiler.
+_TRACE_SECONDS = 0.0
+
+
+def trace_engine_seconds() -> float:
+    """Cumulative trace-engine seconds of this process (monotone)."""
+    return _TRACE_SECONDS
+
+
+def _charge_trace(since: float) -> None:
+    global _TRACE_SECONDS
+    _TRACE_SECONDS += time.perf_counter() - since
 
 
 @dataclass(frozen=True)
@@ -114,18 +136,41 @@ class GroupCoverage:
     are bit-identical to the reference paths (``batch=False``), which
     stay as the differential oracle.
 
-    Results are memoized per ``(registers, anchor)``: the pipeline's
-    pinned-anchor search re-reads the same coverage several times.
+    ``engine`` selects the residency-simulator implementation (see
+    :mod:`repro.sim.residency`): ``"array"`` (the default) runs the
+    vectorized trace engine — period-ladder Belady memoization derived
+    from the loop trip structure, single-class fast paths in the region
+    ranking — and ``"reference"`` the straightforward oracle code.  All
+    four ``batch`` × ``engine`` combinations are bit-identical.
+
+    Results are memoized per ``(registers, anchor)`` *and* per the
+    canonical key they reduce to (``covered`` for windows,
+    ``(covered, anchor)`` for pinned coverage): the pipeline's
+    anchor search and the allocators' budget ladders re-read the same
+    coverage many times under different register counts that clamp to
+    the same covered set.
     """
 
     def __init__(
-        self, kernel: Kernel, group: RefGroup, batch: bool = True
+        self,
+        kernel: Kernel,
+        group: RefGroup,
+        batch: bool = True,
+        engine: str = "array",
     ) -> None:
+        if engine not in TRACE_ENGINES:
+            raise AnalysisError(
+                f"unknown trace engine {engine!r}; expected one of "
+                f"{TRACE_ENGINES}"
+            )
         self.kernel = kernel
         self.group = group
         self.batch = batch
+        self.engine = engine
         self.beta = group.full_registers
         self._results: dict[tuple[int, str], CoverageResult] = {}
+        self._canonical: dict[tuple, CoverageResult] = {}
+        self._region_cache: "tuple[np.ndarray, np.ndarray] | None" = None
         self._shape = kernel.nest.trip_counts()
         best = min(
             group.profile.points, key=lambda p: (p.accesses, p.registers)
@@ -190,17 +235,33 @@ class GroupCoverage:
             for s in self.group.sites
         )
         n_writes = len(self.group.writes)
+        # A result is a pure function of the canonical key below, not of
+        # the raw register count: every register count that clamps to
+        # the same covered set shares one computation (and windows
+        # ignore the anchor entirely).
         if self._kind == "none" or covered == 0 or not self.group.carries_reuse:
+            key: tuple = ("none",)
+        elif self._kind == "pinned":
+            key = ("pinned", covered, anchor)
+        else:
+            key = ("window", covered)
+        memoized = self._canonical.get(key)
+        if memoized is not None:
+            return memoized
+        if key[0] == "none":
             read_miss = np.full(self._shape, has_read, dtype=bool)
             write_miss = (
                 np.full(self._shape, n_writes > 0, dtype=bool)
                 if n_writes
                 else np.zeros(self._shape, dtype=bool)
             )
-            return CoverageResult(read_miss, write_miss, 0, kind="none")
-        if self._kind == "pinned":
-            return self._pinned_result(covered, has_read, n_writes, anchor)
-        return self._window_result(covered, has_read, n_writes)
+            result = CoverageResult(read_miss, write_miss, 0, kind="none")
+        elif key[0] == "pinned":
+            result = self._pinned_result(covered, has_read, n_writes, anchor)
+        else:
+            result = self._window_result(covered, has_read, n_writes)
+        self._canonical[key] = result
+        return result
 
     def ram_accesses(self, registers: int) -> int:
         """Total RAM accesses (loop + epilogue) at ``registers``."""
@@ -221,9 +282,16 @@ class GroupCoverage:
         state of an affine nest — so the batched path deduplicates
         regions by their base-normalized pattern and ranks each distinct
         class once, stamping the result across all members (typically
-        one class for the whole nest).  The unbatched path ranks every
-        region independently.
+        one class for the whole nest).  The array engine recognizes the
+        one-class case with a single vectorized comparison before paying
+        ``np.unique``'s row lexsort.  The unbatched path ranks every
+        region independently.  The grids are a pure function of the
+        group, so they are computed once per computer and shared across
+        every ``(registers, anchor)`` result.
         """
+        if self._region_cache is not None:
+            return self._region_cache
+        started = time.perf_counter()
         level = self._carrying_level
         assert level is not None
         grids = self.kernel.nest.meshgrids()
@@ -237,18 +305,31 @@ class GroupCoverage:
         first = np.zeros_like(by_region, dtype=bool)
         if self.batch and outer_size > 1:
             normalized = by_region - by_region[:, :1]
-            classes, members = np.unique(
-                normalized, axis=0, return_inverse=True
-            )
-            for index in range(len(classes)):
+            if self.engine == "array" and bool(
+                (normalized[1:] == normalized[:1]).all()
+            ):
+                # Single shift-class: rank the representative region and
+                # stamp every row at once.
                 _, first_positions, inverse = np.unique(
-                    classes[index], return_index=True, return_inverse=True
+                    normalized[0], return_index=True, return_inverse=True
                 )
-                rows = members.reshape(-1) == index
-                ranks[rows] = inverse
+                ranks[:] = inverse[None, :]
                 stamp = np.zeros(region_size, dtype=bool)
                 stamp[first_positions] = True
-                first[rows] = stamp
+                first[:] = stamp[None, :]
+            else:
+                classes, members = np.unique(
+                    normalized, axis=0, return_inverse=True
+                )
+                for index in range(len(classes)):
+                    _, first_positions, inverse = np.unique(
+                        classes[index], return_index=True, return_inverse=True
+                    )
+                    rows = members.reshape(-1) == index
+                    ranks[rows] = inverse
+                    stamp = np.zeros(region_size, dtype=bool)
+                    stamp[first_positions] = True
+                    first[rows] = stamp
         else:
             for row in range(outer_size):
                 _, first_positions, inverse = np.unique(
@@ -256,7 +337,11 @@ class GroupCoverage:
                 )
                 ranks[row] = inverse
                 first[row, first_positions] = True
-        return ranks.reshape(self._shape), first.reshape(self._shape)
+        self._region_cache = (
+            ranks.reshape(self._shape), first.reshape(self._shape)
+        )
+        _charge_trace(started)
+        return self._region_cache
 
     def _pinned_result(
         self, covered: int, has_read: bool, n_writes: int, anchor: str
@@ -297,6 +382,7 @@ class GroupCoverage:
     def _window_result(
         self, covered: int, has_read: bool, n_writes: int
     ) -> CoverageResult:
+        started = time.perf_counter()
         grids = self.kernel.nest.meshgrids()
         flat = np.broadcast_to(
             self.group.ref.flat_address_grid(grids), self._shape
@@ -304,15 +390,21 @@ class GroupCoverage:
         stream = flat.reshape(-1)
         # One row per outermost iteration: the granularity at which affine
         # window streams settle into a steady state the batched trace can
-        # replay with a multiplier.
-        row_len = (
-            int(np.prod(self._shape[1:], dtype=np.int64))
-            if self.batch and len(self._shape) > 1
-            else None
-        )
+        # replay with a multiplier.  The array engine descends the whole
+        # period ladder — the suffix products of the trip counts — so
+        # tile-level steady states replay inside boundary rows too.
+        periods: "tuple[int, ...] | None" = None
+        if self.batch and len(self._shape) > 1:
+            periods = tuple(
+                int(np.prod(self._shape[level:], dtype=np.int64))
+                for level in range(1, len(self._shape))
+            )
+            if self.engine != "array":
+                periods = periods[:1]  # the reference engine memoizes rows
         miss_flags, inserted, evicted, freed = opt_trace(
-            stream, covered, row_len=row_len
+            stream, covered, periods=periods, engine=self.engine
         )
+        _charge_trace(started)
         misses = miss_flags.reshape(self._shape)
         if has_read:
             read_miss = misses
@@ -342,7 +434,13 @@ class GroupCoverage:
 
 
 def coverage_for(
-    kernel: Kernel, groups: "tuple[RefGroup, ...]", batch: bool = True
+    kernel: Kernel,
+    groups: "tuple[RefGroup, ...]",
+    batch: bool = True,
+    engine: str = "array",
 ) -> dict[str, GroupCoverage]:
     """Coverage computers for every group, keyed by group name."""
-    return {g.name: GroupCoverage(kernel, g, batch=batch) for g in groups}
+    return {
+        g.name: GroupCoverage(kernel, g, batch=batch, engine=engine)
+        for g in groups
+    }

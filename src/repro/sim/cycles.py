@@ -90,6 +90,7 @@ def count_cycles(
     batch: bool = True,
     coverages: "dict[str, GroupCoverage] | None" = None,
     context: "EvalContext | None" = None,
+    trace_engine: str = "array",
 ) -> CycleReport:
     """Count execution cycles of ``kernel`` under ``allocation``.
 
@@ -98,9 +99,12 @@ def count_cycles(
 
     ``batch`` selects the steady-state/boundary batched coverage paths
     (bit-identical to the reference paths; see
-    :class:`~repro.scalar.coverage.GroupCoverage`), and ``coverages``
-    optionally shares pre-built coverage computers across repeated
-    counts of the same design point (the pipeline's anchor search).
+    :class:`~repro.scalar.coverage.GroupCoverage`), ``trace_engine``
+    the residency-simulator implementation behind them (``"array"`` —
+    the vectorized default — or ``"reference"``, the oracle; also
+    bit-identical), and ``coverages`` optionally shares pre-built
+    coverage computers across repeated counts of the same design point
+    (the pipeline's anchor search).
 
     ``context`` (an :class:`~repro.explore.context.EvalContext`) memoizes
     each distinct hit/miss pattern's scheduled makespan across the counts
@@ -118,25 +122,29 @@ def count_cycles(
     memo_key = None
     if context is not None:
         if coverages is None:
-            coverages = context.coverages(kernel, groups, batch=batch)
-        # The full parameterization of this count.  ``batch`` is part of
-        # the key even though both paths are bit-identical by
-        # construction — excluding it would let a memoized batched
-        # report answer the unbatched differential oracle and mask a
-        # divergence the fuzz suite exists to catch.  The context
-        # additionally declines the memo when ``dfg``/``coverages`` are
-        # not its canonical artifacts for this kernel.
+            coverages = context.coverages(
+                kernel, groups, batch=batch, trace_engine=trace_engine
+            )
+        # The full parameterization of this count.  ``batch`` and
+        # ``trace_engine`` are part of the key even though all paths are
+        # bit-identical by construction — excluding them would let a
+        # memoized batched/array report answer the reference
+        # differential oracle and mask a divergence the fuzz suite
+        # exists to catch.  The context additionally declines the memo
+        # when ``dfg``/``coverages`` are not its canonical artifacts for
+        # this kernel.
         memo_key = (
             context.model_fingerprint(model),
             ram_ports,
             overhead_per_iteration,
             batch,
+            trace_engine,
             tuple((g.name, allocation.registers_for(g.name)) for g in groups),
             tuple(sorted(anchors.items())),
         )
         memoized = context.get_cycle_report(
             kernel, groups, memo_key, dfg=dfg, coverages=coverages,
-            batch=batch,
+            batch=batch, trace_engine=trace_engine,
         )
         if memoized is not None:
             return memoized
@@ -151,7 +159,9 @@ def count_cycles(
         if coverages is not None and group.name in coverages:
             coverage = coverages[group.name]
         else:
-            coverage = GroupCoverage(kernel, group, batch=batch)
+            coverage = GroupCoverage(
+                kernel, group, batch=batch, engine=trace_engine
+            )
         result = coverage.result(
             allocation.registers_for(group.name),
             anchor=anchors.get(group.name, "low"),
@@ -229,7 +239,7 @@ def count_cycles(
     if memo_key is not None:
         context.put_cycle_report(
             kernel, groups, memo_key, report, dfg=dfg, coverages=coverages,
-            batch=batch,
+            batch=batch, trace_engine=trace_engine,
         )
     return report
 

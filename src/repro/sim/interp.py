@@ -162,6 +162,22 @@ class _RegisterBank:
         self.high_water = 0
         self.ram_accesses = 0
         self.position = 0  # flattened access position (window replay)
+        # Window replay consumes the Belady trace array-at-a-time: the
+        # victim coordinates of the whole trace are unravelled in one
+        # vectorized call here instead of one np.unravel_index per miss.
+        self._victims: "list[tuple[int, ...] | None] | None" = None
+        if coverage.window_evicted is not None:
+            flat = np.asarray(coverage.window_evicted).reshape(-1)
+            coords = np.stack(
+                np.unravel_index(
+                    np.maximum(flat, 0), group.ref.array.shape
+                ),
+                axis=-1,
+            ).tolist()
+            self._victims = [
+                tuple(coord) if victim >= 0 else None
+                for coord, victim in zip(coords, flat.tolist())
+            ]
 
     def _capacity(self) -> int:
         return max(1, self.coverage.covered)
@@ -186,12 +202,9 @@ class _RegisterBank:
     def window_step(self, address: tuple[int, ...], value: int) -> None:
         """Replay one Belady placement decision after a window read miss."""
         pos = self.position
-        if self.coverage.window_evicted is not None:
-            victim_flat = int(self.coverage.window_evicted[pos])
-            if victim_flat >= 0:
-                victim = tuple(
-                    np.unravel_index(victim_flat, self.group.ref.array.shape)
-                )
+        if self._victims is not None:
+            victim = self._victims[pos]
+            if victim is not None:
                 self.values.pop(victim, None)
         if (
             self.coverage.window_inserted is not None

@@ -13,25 +13,43 @@ elements are resident is a *policy* choice made by the compiler:
 * ``opt`` — Belady's clairvoyant policy; an upper bound used by the
   residency ablation benchmark.
 
-These simulators process a reference's concrete address stream and return
-per-access miss flags.  They are deliberately straightforward (dict/heap
-based, O(stream) or O(stream log r)) — they are the *oracle* the analytic
-coverage masks in :mod:`repro.scalar.coverage` are tested against, so
-clarity beats speed.
+Every simulator exists in two implementations selected by the
+``engine`` parameter:
 
-The one exception is :func:`opt_trace`, which sits on the production
-cycle-counting path: given a ``row_len`` it batches the simulation by
-classifying rows (one outer-loop iteration each) into steady-state and
-boundary classes.  A row whose *normalized* signature — register-file
-state, address pattern and next-use structure relative to the row's base
-— was seen before replays the recorded trace with one multiplier-style
-copy instead of re-interpreting every access; Belady's decisions depend
-only on that signature, so the batched trace is bit-identical to the
-plain simulation (asserted case-by-case by the fuzz suite).
+* ``"reference"`` — the deliberately straightforward dict/heap code
+  (O(stream log r)): the oracle the array engine and the analytic
+  coverage masks in :mod:`repro.scalar.coverage` are differenced
+  against, so clarity beats speed.
+* ``"array"`` (the default) — NumPy array kernels, bit-identical to the
+  reference by construction and pinned so by the fuzz suite:
+  :func:`lru_misses` computes stack distances from ``next_uses``-style
+  links (a vectorized count-smaller-to-the-left merge), and
+  :func:`pinned_misses` reduces to a first-touch mask over
+  :func:`prev_uses` links.
+
+:func:`opt_trace` sits on the production cycle-counting path.  Its
+batched mode classifies fixed-length *rows* of the stream into
+steady-state and boundary classes: a row whose *normalized* signature —
+register-file state, address pattern and next-use structure relative to
+the row's base — was seen before replays the recorded trace instead of
+being re-interpreted; Belady's decisions depend only on that signature,
+so the batched trace is bit-identical to the plain simulation (asserted
+case-by-case by the fuzz suite).  The reference engine memoizes at a
+single ``row_len``; the array engine generalizes this to a **period
+ladder** (``periods``, row → tile → inner tile): a boundary row at one
+level is re-examined at the next finer period before any per-access
+simulation runs, so inner-tile steady states replay even when the outer
+row never repeats (the tiling perspective of Domagała et al.), and runs
+of consecutive fixpoint rows are stamped out with one vectorized copy.
+
+Genuine eviction decisions — the only inherently sequential part of
+Belady — use a lazy-deletion max-heap keyed by next use instead of an
+O(r) ``max`` victim scan, on both engines.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 
 import numpy as np
@@ -44,7 +62,9 @@ __all__ = [
     "opt_misses",
     "opt_trace",
     "next_uses",
+    "prev_uses",
     "miss_count",
+    "TRACE_ENGINES",
 ]
 
 #: Normalized stand-ins with no valid absolute counterpart: a next use
@@ -52,16 +72,70 @@ __all__ = [
 _NO_NEXT_USE = np.int64(2**62)
 _NO_EVICTION = np.int64(-(2**62))
 
+#: The two residency-simulator implementations (see the module docstring).
+TRACE_ENGINES = ("array", "reference")
 
-def lru_misses(stream: np.ndarray, capacity: int) -> np.ndarray:
+
+def _check_engine(engine: str) -> None:
+    if engine not in TRACE_ENGINES:
+        raise SimulationError(
+            f"unknown trace engine {engine!r}; expected one of {TRACE_ENGINES}"
+        )
+
+
+# -- use-distance links --------------------------------------------------------
+
+
+def _use_links(addresses: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """``(next, prev)`` same-address links from one stable argsort."""
+    n = len(addresses)
+    nxt = np.full(n, n, dtype=np.int64)
+    prv = np.full(n, -1, dtype=np.int64)
+    if n < 2:
+        return nxt, prv
+    order = np.argsort(addresses, kind="stable")
+    same = addresses[order][1:] == addresses[order][:-1]
+    nxt[order[:-1][same]] = order[1:][same]
+    prv[order[1:][same]] = order[:-1][same]
+    return nxt, prv
+
+
+def next_uses(stream: np.ndarray) -> np.ndarray:
+    """Per position, the next position accessing the same address.
+
+    Vectorized (stable argsort groups equal addresses; consecutive group
+    members chain into next-use links).  Positions with no later access
+    carry the sentinel ``len(stream)``.
+    """
+    return _use_links(np.asarray(stream).reshape(-1))[0]
+
+
+def prev_uses(stream: np.ndarray) -> np.ndarray:
+    """Per position, the previous position accessing the same address.
+
+    The mirror of :func:`next_uses`; positions whose address was never
+    accessed before carry the sentinel ``-1``.
+    """
+    return _use_links(np.asarray(stream).reshape(-1))[1]
+
+
+# -- LRU -----------------------------------------------------------------------
+
+
+def lru_misses(
+    stream: np.ndarray, capacity: int, engine: str = "array"
+) -> np.ndarray:
     """Boolean miss flags of an LRU register file over an address stream."""
     if capacity < 0:
         raise SimulationError(f"capacity must be >= 0, got {capacity}")
+    _check_engine(engine)
+    if engine == "array":
+        return _lru_misses_array(np.asarray(stream).reshape(-1), capacity)
     misses = np.ones(len(stream), dtype=bool)
     if capacity == 0:
         return misses
     resident: OrderedDict[int, None] = OrderedDict()
-    for position, address in enumerate(stream.tolist()):
+    for position, address in enumerate(np.asarray(stream).reshape(-1).tolist()):
         if address in resident:
             resident.move_to_end(address)
             misses[position] = False
@@ -72,17 +146,123 @@ def lru_misses(stream: np.ndarray, capacity: int) -> np.ndarray:
     return misses
 
 
+def _lru_misses_array(addresses: np.ndarray, capacity: int) -> np.ndarray:
+    """LRU misses as an array kernel: stack distance over use links.
+
+    An access hits iff its LRU stack distance is at most the capacity.
+    With ``p`` the previous use of the access at ``i``, the distance is
+    one plus the number of distinct addresses touched in ``(p, i)`` —
+    and a position ``j`` contributes one distinct address to that window
+    exactly when it is the *latest* use of its address before ``i``
+    (``next_use[j] >= i``).  Counting those positions reduces to
+
+    ``distance(i) = distinct_before(i) - p + smaller_left(p)``
+
+    where ``distinct_before(i)`` counts distinct addresses in ``[0, i)``
+    (a cumulative sum of first touches) and ``smaller_left(p)`` counts
+    positions ``j < p`` with ``next_use[j] < next_use[p]`` — a pure
+    count-smaller-to-the-left over the ``next_uses`` array, computed by
+    the vectorized merge in :func:`_count_smaller_left`.
+    """
+    n = len(addresses)
+    misses = np.ones(n, dtype=bool)
+    if capacity == 0 or n == 0:
+        return misses
+    nxt, prv = _use_links(addresses)
+    repeat = prv >= 0
+    if not repeat.any():
+        return misses
+    first = ~repeat
+    distinct_before = np.concatenate(
+        ([0], np.cumsum(first, dtype=np.int64)[:-1])
+    )
+    smaller_left = _count_smaller_left(nxt)
+    prev_pos = prv[repeat]
+    distance = distinct_before[repeat] - prev_pos + smaller_left[prev_pos]
+    misses[repeat] = distance > capacity
+    return misses
+
+
+def _count_smaller_left(values: np.ndarray) -> np.ndarray:
+    """Per position, how many strictly smaller values lie to its left.
+
+    A bottom-up vectorized mergesort: values are rank-compressed (so
+    the merge keys below cannot overflow whatever the input range),
+    padded to a power of two, and at each doubling level the (sorted)
+    left half of every block is merged into its right half with one
+    stable row-wise argsort whose key orders right-block elements
+    *before* equal left-block elements — so the number of left elements
+    preceding a right element in the merged order counts exactly the
+    strictly smaller ones.
+    """
+    n = len(values)
+    counts = np.zeros(n, dtype=np.int64)
+    if n < 2:
+        return counts
+    # Strictly-smaller counts are rank-order invariant: replace values
+    # by their dense ranks in [0, u) so keys stay bounded by ~2n.
+    ranks = np.unique(np.asarray(values), return_inverse=True)[1]
+    ranks = ranks.reshape(-1).astype(np.int64, copy=False)
+    size = 1 << (n - 1).bit_length()
+    vals = np.concatenate(
+        [ranks, np.full(size - n, np.int64(n), dtype=np.int64)]
+    )
+    idx = np.arange(size, dtype=np.int64)
+    padded_counts = np.zeros(size, dtype=np.int64)
+    width = 1
+    while width < size:
+        span = 2 * width
+        v = vals.reshape(-1, span)
+        ix = idx.reshape(-1, span)
+        col = np.arange(span, dtype=np.int64)
+        # Right-block elements get the smaller key at equal values, so
+        # only strictly smaller left elements sort before them.
+        key = v * 2 + (col < width)
+        order = np.argsort(key, axis=1, kind="stable")
+        v = np.take_along_axis(v, order, axis=1)
+        ix = np.take_along_axis(ix, order, axis=1)
+        from_right = order >= width
+        rights_inclusive = np.cumsum(from_right, axis=1)
+        lefts_before = col[None, :] - (rights_inclusive - 1)
+        targets = ix[from_right]
+        # Each original index appears exactly once per level, so plain
+        # fancy assignment (no np.add.at) is collision-free.
+        padded_counts[targets] += lefts_before[from_right]
+        vals = v.reshape(-1)
+        idx = ix.reshape(-1)
+        width = span
+    return padded_counts[:n]
+
+
+# -- pinned --------------------------------------------------------------------
+
+
 def pinned_misses(
-    stream: np.ndarray, pinned: "set[int] | frozenset[int]"
+    stream: np.ndarray,
+    pinned: "set[int] | frozenset[int]",
+    engine: str = "array",
 ) -> np.ndarray:
     """Miss flags when a fixed set of addresses is register-resident.
 
     The first access to a pinned address is still a miss (the value must be
     fetched once); later accesses hit.  Unpinned addresses always miss.
     """
-    misses = np.ones(len(stream), dtype=bool)
+    _check_engine(engine)
+    addresses = np.asarray(stream).reshape(-1)
+    if engine == "array":
+        misses = np.ones(len(addresses), dtype=bool)
+        if not pinned or not len(addresses):
+            return misses
+        # Pin membership is fixed over the stream, so "touched before"
+        # is simply "has an earlier use": a first-touch mask over the
+        # prev_uses links, intersected with the pin membership.
+        table = np.fromiter(pinned, count=len(pinned), dtype=np.int64)
+        in_pinned = np.isin(addresses, table)
+        seen_before = prev_uses(addresses) >= 0
+        return ~(in_pinned & seen_before)
+    misses = np.ones(len(addresses), dtype=bool)
     touched: set[int] = set()
-    for position, address in enumerate(stream.tolist()):
+    for position, address in enumerate(addresses.tolist()):
         if address in pinned:
             if address in touched:
                 misses[position] = False
@@ -91,58 +271,57 @@ def pinned_misses(
     return misses
 
 
+# -- Belady (no bypass): the ablation's lower bound ----------------------------
+
+
 def opt_misses(stream: np.ndarray, capacity: int) -> np.ndarray:
     """Miss flags under Belady's optimal (furthest-next-use) replacement.
 
     Used only by the residency ablation; gives the lower bound on misses
     any static or dynamic policy with ``capacity`` registers can reach.
+    The victim search is a lazy-deletion max-heap keyed by next use
+    (O(stream log r) instead of an O(r) scan per eviction).  Heap
+    tie-breaking differs from a dict scan only among values that are
+    never accessed again, and evicting any of those leaves the same live
+    residents — so the miss flags are exactly the reference answer.
     """
     if capacity < 0:
         raise SimulationError(f"capacity must be >= 0, got {capacity}")
-    n = len(stream)
+    addresses = np.asarray(stream).reshape(-1)
+    n = len(addresses)
     misses = np.ones(n, dtype=bool)
     if capacity == 0:
         return misses
-    addresses = stream.tolist()
-    # next_use[i] = next position accessing the same address, or +inf.
-    next_use = [float("inf")] * n
-    last_seen: dict[int, int] = {}
-    for position in range(n - 1, -1, -1):
-        address = addresses[position]
-        next_use[position] = last_seen.get(address, float("inf"))
-        last_seen[address] = position
-    resident: dict[int, float] = {}  # address -> its next use position
-    for position, address in enumerate(addresses):
+    nxt = next_uses(addresses)
+    resident: dict[int, int] = {}  # address -> its next use position
+    heap: list[tuple[int, int]] = []  # (-next use, address), lazy-deleted
+    for position, (address, mine) in enumerate(
+        zip(addresses.tolist(), nxt.tolist())
+    ):
         if address in resident:
             misses[position] = False
-        else:
-            if len(resident) >= capacity:
-                victim = max(resident, key=lambda a: resident[a])
-                del resident[victim]
-        resident[address] = next_use[position]
+        elif len(resident) >= capacity:
+            while True:
+                negated, victim = heap[0]
+                if resident.get(victim) == -negated:
+                    break
+                heapq.heappop(heap)
+            heapq.heappop(heap)
+            del resident[victim]
+        resident[address] = mine
+        heapq.heappush(heap, (-mine, address))
     return misses
 
 
-def next_uses(stream: np.ndarray) -> np.ndarray:
-    """Per position, the next position accessing the same address.
-
-    Vectorized (stable argsort groups equal addresses; consecutive group
-    members chain into next-use links).  Positions with no later access
-    carry the sentinel ``len(stream)``.
-    """
-    addresses = np.asarray(stream).reshape(-1)
-    n = len(addresses)
-    nxt = np.full(n, n, dtype=np.int64)
-    if n < 2:
-        return nxt
-    order = np.argsort(addresses, kind="stable")
-    same = addresses[order][1:] == addresses[order][:-1]
-    nxt[order[:-1][same]] = order[1:][same]
-    return nxt
+# -- Belady with bypass: the production placement trace ------------------------
 
 
 def opt_trace(
-    stream: np.ndarray, capacity: int, row_len: "int | None" = None
+    stream: np.ndarray,
+    capacity: int,
+    row_len: "int | None" = None,
+    periods: "tuple[int, ...] | None" = None,
+    engine: str = "array",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Belady with bypass, returning the full placement trace.
 
@@ -163,11 +342,19 @@ def opt_trace(
     ``row_len`` (a divisor of the stream length, typically the size of
     one outer-loop iteration) enables the batched steady-state path: rows
     with a previously seen normalized signature replay their recorded
-    trace instead of being re-simulated.  Results are bit-identical with
-    and without it.
+    trace instead of being re-simulated.  ``periods`` generalizes it to a
+    descending divisor chain (row → tile → inner tile, typically the
+    suffix products of the loop trip counts); the array engine re-examines
+    a boundary row at each finer period before falling back to per-access
+    simulation, so tile-level steady states replay even when the outer
+    row never repeats.  Entries that do not divide their predecessor (or
+    the stream length) are dropped — a non-divisor ``row_len`` falls back
+    to the plain simulation, as before.  The reference engine uses only
+    the coarsest period.  Results are bit-identical across all of it.
     """
     if capacity < 0:
         raise SimulationError(f"capacity must be >= 0, got {capacity}")
+    _check_engine(engine)
     addresses = np.asarray(stream).reshape(-1)
     n = len(addresses)
     misses = np.ones(n, dtype=bool)
@@ -177,13 +364,87 @@ def opt_trace(
     if capacity == 0 or n == 0:
         return misses, inserted, evicted, freed
     out = (misses, inserted, evicted, freed)
-    nxt = next_uses(addresses)
+    ladder = _period_ladder(n, row_len, periods)
     resident: dict[int, int] = {}  # address -> next use position
-    if row_len and 0 < row_len < n and n % row_len == 0:
-        _trace_rows(addresses, nxt, capacity, row_len, resident, out)
+    if engine == "array":
+        nxt, prv = _use_links(addresses)
+        _ArrayTracer(addresses, nxt, prv, capacity, ladder).trace(resident, out)
+        return out
+    nxt = next_uses(addresses)
+    if ladder:
+        _trace_rows(addresses, nxt, capacity, ladder[0], resident, out)
     else:
         _trace_span(addresses, nxt, capacity, 0, n, resident, out)
     return out
+
+
+def _period_ladder(
+    n: int, row_len: "int | None", periods: "tuple[int, ...] | None"
+) -> tuple[int, ...]:
+    """The valid descending divisor chain among the requested periods."""
+    requested = tuple(periods) if periods is not None else (
+        (row_len,) if row_len else ()
+    )
+    ladder: list[int] = []
+    previous = n
+    for period in requested:
+        period = int(period)
+        if 0 < period < previous and previous % period == 0:
+            ladder.append(period)
+            previous = period
+    return tuple(ladder)
+
+
+def _belady_span(
+    positions: "list[int]",
+    span_addresses: "list[int]",
+    span_next: "list[int]",
+    n: int,
+    capacity: int,
+    resident: "dict[int, int]",
+    out: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+) -> None:
+    """The per-access Belady-with-bypass decision loop.
+
+    Shared by both engines; ``positions`` lists the absolute stream
+    positions to simulate (the array engine pre-filters compulsory
+    bypasses out of it).  The victim search is a lazy-deletion max-heap
+    keyed by next use; next-use positions are unique, so the heap's
+    victim is exactly the ``max`` scan's.
+    """
+    misses, inserted, evicted, freed = out
+    heap = [(-use, address) for address, use in resident.items()]
+    heapq.heapify(heap)
+    for position, address, mine in zip(positions, span_addresses, span_next):
+        if address in resident:
+            misses[position] = False
+            if mine >= n:
+                del resident[address]  # last use: free the register
+                freed[position] = True
+            else:
+                resident[address] = mine
+                heapq.heappush(heap, (-mine, address))
+            continue
+        if mine >= n:
+            continue  # never used again: bypass
+        if len(resident) < capacity:
+            resident[address] = mine
+            inserted[position] = True
+            heapq.heappush(heap, (-mine, address))
+            continue
+        while True:
+            negated, victim = heap[0]
+            if resident.get(victim) == -negated:
+                break
+            heapq.heappop(heap)
+        if -negated > mine:
+            heapq.heappop(heap)
+            del resident[victim]
+            resident[address] = mine
+            inserted[position] = True
+            evicted[position] = victim
+            heapq.heappush(heap, (-mine, address))
+        # else: bypass (victim is more useful than we are)
 
 
 def _trace_span(
@@ -201,33 +462,15 @@ def _trace_span(
     sentinel next-use value ``len(addresses)`` plays the role of
     "never used again".
     """
-    misses, inserted, evicted, freed = out
-    n = len(addresses)
-    span_next = nxt[start:stop].tolist()
-    for offset, address in enumerate(addresses[start:stop].tolist()):
-        position = start + offset
-        mine = span_next[offset]
-        if address in resident:
-            misses[position] = False
-            if mine >= n:
-                del resident[address]  # last use: free the register
-                freed[position] = True
-            else:
-                resident[address] = mine
-            continue
-        if mine >= n:
-            continue  # never used again: bypass
-        if len(resident) < capacity:
-            resident[address] = mine
-            inserted[position] = True
-            continue
-        victim = max(resident, key=lambda a: resident[a])
-        if resident[victim] > mine:
-            del resident[victim]
-            resident[address] = mine
-            inserted[position] = True
-            evicted[position] = victim
-        # else: bypass (victim is more useful than we are)
+    _belady_span(
+        list(range(start, stop)),
+        addresses[start:stop].tolist(),
+        nxt[start:stop].tolist(),
+        len(addresses),
+        capacity,
+        resident,
+        out,
+    )
 
 
 def _trace_rows(
@@ -238,7 +481,7 @@ def _trace_rows(
     resident: "dict[int, int]",
     out: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
 ) -> None:
-    """Row-batched Belady: steady-state rows replay a recorded trace.
+    """Row-batched Belady (reference): steady rows replay a recorded trace.
 
     A row's behaviour is a pure function of its *normalized signature*:
     the pre-row register state, the row's addresses and the row's
@@ -317,6 +560,239 @@ def _trace_rows(
     if state_rel is not None:
         resident.clear()
         resident.update((a + frame[0], u + frame[1]) for a, u in state_rel)
+
+
+class _LadderLevel:
+    """Vectorized per-period structures the array tracer classifies with.
+
+    Everything here is a whole-stream array computation done once per
+    ladder level: row bases, the shift-normalized (address, next-use)
+    pattern per row, adjacent-row pattern equality (for steady-state run
+    stamping) and base deltas.  Row signatures reuse the reference
+    engine's exact normalization, so the memo equivalence classes — and
+    therefore the outputs — are identical by construction.
+    """
+
+    __slots__ = (
+        "period", "rows", "bases", "pattern", "same", "base_delta", "memo",
+    )
+
+    def __init__(self, addresses: np.ndarray, nxt: np.ndarray, period: int):
+        n = len(addresses)
+        self.period = period
+        self.rows = n // period
+        by_row = addresses.reshape(self.rows, period).astype(np.int64)
+        self.bases = by_row[:, 0].copy()
+        next_by_row = nxt.reshape(self.rows, period)
+        row_starts = (
+            np.arange(self.rows, dtype=np.int64)[:, None] * period
+        )
+        next_rel = np.where(
+            next_by_row >= n, _NO_NEXT_USE, next_by_row - row_starts
+        )
+        self.pattern = np.concatenate(
+            [by_row - self.bases[:, None], next_rel], axis=1
+        )
+        self.same = (
+            np.all(self.pattern[1:] == self.pattern[:-1], axis=1)
+            if self.rows > 1
+            else np.zeros(0, dtype=bool)
+        )
+        self.base_delta = np.diff(self.bases)
+        self.memo: dict[tuple, tuple] = {}
+
+    def row_key(self, row: int) -> bytes:
+        return self.pattern[row].tobytes()
+
+    def run_length(self, row: int, last_row: int, delta: int) -> int:
+        """Rows from ``row`` replaying one fixpoint signature in a run.
+
+        Counts how far the pattern stays identical to ``row``'s and the
+        base keeps advancing by ``delta`` — the two conditions under
+        which a fixpoint state keeps reproducing the same signature.
+        """
+        same = self.same[row : last_row - 1]
+        deltas = self.base_delta[row : last_row - 1]
+        bad = np.flatnonzero(~(same & (deltas == delta)))
+        return 1 + (int(bad[0]) if len(bad) else len(same))
+
+
+class _ArrayTracer:
+    """The array engine behind :func:`opt_trace`.
+
+    Runs the same signature-memoized simulation as the reference
+    ``_trace_rows``, with three array-at-a-time accelerations:
+
+    * per-level row patterns, adjacent equality and base deltas are
+      vectorized whole-stream computations (:class:`_LadderLevel`),
+    * a replayed row whose post-state re-normalizes to its own input
+      signature is a *fixpoint*: the maximal run of following rows with
+      the same pattern and base delta replays identically and is
+      stamped with one vectorized copy instead of one per row,
+    * a row (or tile) that misses its level's memo recurses to the next
+      finer period before any per-access simulation; the finest level
+      runs :func:`_belady_span` with compulsory bypasses — first-ever
+      touches of never-reused addresses, which cannot change any state —
+      filtered out in bulk.
+    """
+
+    def __init__(
+        self,
+        addresses: np.ndarray,
+        nxt: np.ndarray,
+        prv: np.ndarray,
+        capacity: int,
+        ladder: tuple[int, ...],
+    ):
+        self.addresses = addresses
+        self.nxt = nxt
+        self.prev = prv
+        self.capacity = capacity
+        self.ladder = ladder
+        self._levels: "list[_LadderLevel | None]" = [None] * len(ladder)
+
+    def _level(self, depth: int) -> _LadderLevel:
+        level = self._levels[depth]
+        if level is None:
+            level = _LadderLevel(self.addresses, self.nxt, self.ladder[depth])
+            self._levels[depth] = level
+        return level
+
+    def trace(
+        self,
+        resident: "dict[int, int]",
+        out: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ) -> None:
+        self._trace(0, 0, len(self.addresses), resident, out)
+
+    def _span(
+        self,
+        start: int,
+        stop: int,
+        resident: "dict[int, int]",
+        out: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ) -> None:
+        """Finest level: the decision loop minus compulsory bypasses.
+
+        A position whose address was never accessed before cannot be
+        resident, and if it is also never accessed again the access is a
+        plain bypass miss — exactly the arrays' initial values — with no
+        state change.  Those segments are skipped wholesale; everything
+        else runs the shared heap-based loop.
+        """
+        span_prev = self.prev[start:stop]
+        span_next = self.nxt[start:stop]
+        n = len(self.addresses)
+        active = ~((span_prev < 0) & (span_next >= n))
+        if not active.any():
+            return
+        offsets = np.flatnonzero(active)
+        _belady_span(
+            (start + offsets).tolist(),
+            self.addresses[start:stop][offsets].tolist(),
+            span_next[offsets].tolist(),
+            n,
+            self.capacity,
+            resident,
+            out,
+        )
+
+    def _trace(
+        self,
+        depth: int,
+        start: int,
+        stop: int,
+        resident: "dict[int, int]",
+        out: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ) -> None:
+        if depth >= len(self.ladder):
+            self._span(start, stop, resident, out)
+            return
+        level = self._level(depth)
+        period = level.period
+        misses, inserted, evicted, freed = out
+        first_row = start // period
+        last_row = stop // period
+        state_rel: "tuple | None" = None
+        frame: tuple[int, int] = (0, 0)
+        row = first_row
+        while row < last_row:
+            row_start = row * period
+            base = int(level.bases[row])
+            if state_rel is None:
+                normalized = tuple(
+                    sorted((a - base, u - row_start) for a, u in resident.items())
+                )
+            else:
+                shift_a, shift_u = frame[0] - base, frame[1] - row_start
+                normalized = tuple(
+                    (a + shift_a, u + shift_u) for a, u in state_rel
+                )
+            signature = (normalized, level.row_key(row))
+            replay = level.memo.get(signature)
+            if replay is None:
+                if state_rel is not None:
+                    resident.clear()
+                    resident.update(
+                        (a + frame[0], u + frame[1]) for a, u in state_rel
+                    )
+                    state_rel = None
+                row_stop = row_start + period
+                self._trace(depth + 1, row_start, row_stop, resident, out)
+                eviction_rel = np.where(
+                    evicted[row_start:row_stop] >= 0,
+                    evicted[row_start:row_stop] - base,
+                    _NO_EVICTION,
+                )
+                level.memo[signature] = (
+                    misses[row_start:row_stop].copy(),
+                    inserted[row_start:row_stop].copy(),
+                    eviction_rel,
+                    freed[row_start:row_stop].copy(),
+                    tuple(
+                        sorted(
+                            (a - base, u - row_start)
+                            for a, u in resident.items()
+                        )
+                    ),
+                )
+                row += 1
+                continue
+            miss_row, insert_row, eviction_rel, freed_row, post_state = replay
+            run_rows = 1
+            if row + 1 < last_row and level.same[row]:
+                delta = int(level.base_delta[row])
+                shifted = tuple(
+                    (a - delta, u - period) for a, u in post_state
+                )
+                if shifted == normalized:
+                    run_rows = level.run_length(row, last_row, delta)
+            stop_pos = (row + run_rows) * period
+            if run_rows == 1:
+                misses[row_start:stop_pos] = miss_row
+                inserted[row_start:stop_pos] = insert_row
+                evicted[row_start:stop_pos] = np.where(
+                    eviction_rel != _NO_EVICTION, eviction_rel + base, -1
+                )
+                freed[row_start:stop_pos] = freed_row
+            else:
+                segment = slice(row_start, stop_pos)
+                misses[segment] = np.tile(miss_row, run_rows)
+                inserted[segment] = np.tile(insert_row, run_rows)
+                freed[segment] = np.tile(freed_row, run_rows)
+                run_bases = level.bases[row : row + run_rows, None]
+                evicted[segment] = np.where(
+                    eviction_rel[None, :] != _NO_EVICTION,
+                    eviction_rel[None, :] + run_bases,
+                    -1,
+                ).reshape(-1)
+            last = row + run_rows - 1
+            state_rel = post_state
+            frame = (int(level.bases[last]), last * period)
+            row += run_rows
+        if state_rel is not None:
+            resident.clear()
+            resident.update((a + frame[0], u + frame[1]) for a, u in state_rel)
 
 
 def miss_count(stream: np.ndarray, capacity: int, policy: str = "lru") -> int:

@@ -19,7 +19,7 @@ from repro.dfg.nodes import OpNode, ReadNode
 from repro.hw.binding import bind_arrays
 from repro.hw.device import Device, XCV1000
 from repro.ir.kernel import Kernel
-from repro.scalar.coverage import GroupCoverage
+from repro.scalar.coverage import GroupCoverage, trace_engine_seconds
 from repro.sim.cycles import count_cycles
 from repro.synth.area import estimate_area
 from repro.synth.design import HardwareDesign
@@ -79,6 +79,7 @@ def build_design(
     coverages: "dict[str, GroupCoverage] | None" = None,
     context: "EvalContext | None" = None,
     stages: "dict[str, float] | None" = None,
+    trace_engine: str = "array",
 ) -> HardwareDesign:
     """Evaluate one (kernel, allocation) design point.
 
@@ -96,8 +97,13 @@ def build_design(
     ``dfg``/``coverages`` accept prebuilt artifacts, and ``context`` (an
     :class:`~repro.explore.context.EvalContext`) supplies them — plus
     per-pattern schedule memoization inside the cycle counter — when the
-    caller does not; all three leave results bit-identical.  ``stages``
-    optionally accumulates the ``--profile`` wall-time breakdown.
+    caller does not; all three leave results bit-identical.
+    ``trace_engine`` selects the residency-simulator implementation
+    (``"array"``, the vectorized default, or ``"reference"``, the
+    oracle; bit-identical either way).  ``stages`` optionally
+    accumulates the ``--profile`` wall-time breakdown — the residency
+    share of the cycle count is split out into a distinct ``trace``
+    stage so the trace engine's cost is visible.
     """
     started = time.perf_counter()
     groups = groups if groups is not None else build_groups(kernel)
@@ -112,10 +118,15 @@ def build_design(
 
     if coverages is None:
         if context is not None:
-            coverages = context.coverages(kernel, groups, batch=batch)
+            coverages = context.coverages(
+                kernel, groups, batch=batch, trace_engine=trace_engine
+            )
         else:
             coverages = {
-                g.name: GroupCoverage(kernel, g, batch=batch) for g in groups
+                g.name: GroupCoverage(
+                    kernel, g, batch=batch, engine=trace_engine
+                )
+                for g in groups
             }
     storage_class = {
         g.name: classify_operand_storage(
@@ -127,6 +138,7 @@ def build_design(
     mixed_ops = _count_mixed_operand_ops(dfg, storage_class)
     mark = charge_stage(stages, "dfg_schedule", started)
 
+    trace_before = trace_engine_seconds()
     cycles = _count_with_best_anchors(
         kernel,
         groups,
@@ -139,8 +151,17 @@ def build_design(
         storage_class,
         batch,
         context,
+        trace_engine,
     )
     mark = charge_stage(stages, "cycles", mark)
+    if stages is not None:
+        # Split the residency-simulation share of the cycle count into
+        # its own stage: the trace clock ticks inside the same wall
+        # interval the "cycles" charge just covered.
+        trace_spent = trace_engine_seconds() - trace_before
+        if trace_spent > 0.0:
+            stages["cycles"] = stages.get("cycles", 0.0) - trace_spent
+            stages["trace"] = stages.get("trace", 0.0) + trace_spent
 
     timing = estimate_clock(
         dfg,
@@ -182,6 +203,7 @@ def _count_with_best_anchors(
     storage_class,
     batch=True,
     context=None,
+    trace_engine="array",
 ):
     """Coverage-placement pass: choose pinned anchors minimizing cycles.
 
@@ -218,6 +240,7 @@ def _count_with_best_anchors(
             batch=batch,
             coverages=coverages,
             context=context,
+            trace_engine=trace_engine,
         )
         if best is None or report.total_cycles < best.total_cycles:
             best = report

@@ -20,7 +20,13 @@ from dataclasses import dataclass
 from repro.analysis.groups import RefGroup, build_groups
 from repro.ir import INT16, INT32, Kernel, KernelBuilder
 
-__all__ = ["FuzzCase", "random_kernel", "random_case", "random_stream"]
+__all__ = [
+    "FuzzCase",
+    "random_kernel",
+    "random_case",
+    "random_stream",
+    "random_tiled_stream",
+]
 
 #: Iteration-space ceiling: big enough for multi-row steady states,
 #: small enough that a hundred cases stay interactive.
@@ -139,3 +145,30 @@ def random_stream(seed: int) -> "tuple[list[int], int, int]":
         )
     capacity = rng.randint(0, 6)
     return addresses, capacity, row_len
+
+
+def random_tiled_stream(seed: int) -> "tuple[list[int], int, tuple[int, int]]":
+    """An inner-tile-periodic stream whose outer rows never repeat.
+
+    Each row consists of ``tiles`` tiles carrying the *same* relative
+    address pattern, but the stride between tile bases strictly grows
+    from row to row — so no two rows are shift-equal (the outer-row
+    memo never replays) while tiles are (the period-ladder case).
+    Returns ``(addresses, capacity, periods)`` with
+    ``periods = (row_len, tile_len)``, both dividing the stream length.
+    """
+    rng = random.Random(seed ^ 0x711E)
+    tiles = rng.randint(2, 4)
+    tile_len = rng.randint(2, 6)
+    rows = rng.randint(2, 6)
+    pattern = [rng.randint(0, tile_len + 2) for _ in range(tile_len)]
+    base_stride = rng.randint(1, 3)
+    addresses: list[int] = []
+    for row in range(rows):
+        stride = base_stride + row  # strictly growing: rows never repeat
+        row_base = rng.randint(0, 4) + row * rng.randint(0, 3)
+        for tile in range(tiles):
+            tile_base = row_base + tile * stride
+            addresses.extend(tile_base + offset for offset in pattern)
+    capacity = rng.randint(0, 6)
+    return addresses, capacity, (tiles * tile_len, tile_len)

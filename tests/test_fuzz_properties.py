@@ -22,12 +22,22 @@ state.
 import numpy as np
 import pytest
 
-from fuzz_kernels import random_case, random_kernel, random_stream
+from fuzz_kernels import (
+    random_case,
+    random_kernel,
+    random_stream,
+    random_tiled_stream,
+)
 from repro.core.pipeline import allocator_by_name
 from repro.dfg.latency import LatencyModel
 from repro.scalar.coverage import GroupCoverage
 from repro.sim.cycles import count_cycles
-from repro.sim.residency import opt_trace
+from repro.sim.residency import (
+    lru_misses,
+    opt_misses,
+    opt_trace,
+    pinned_misses,
+)
 from repro.synth.estimate import build_design
 
 ALGORITHMS = ("FR-RA", "PR-RA", "CPA-RA", "KS-RA", "NO-SR")
@@ -210,3 +220,156 @@ def test_fuzz_opt_trace_row_memoization():
             assert np.array_equal(left, right), (
                 f"stream seed {seed} (capacity {capacity}, row {row_len})"
             )
+
+
+def _assert_traces_equal(expected, got, label):
+    for name, left, right in zip(
+        ("misses", "inserted", "evicted", "freed"), expected, got
+    ):
+        assert np.array_equal(left, right), f"{label}: {name} diverged"
+
+
+def test_fuzz_trace_engines_bit_identical():
+    """Array vs reference engine: all four trace arrays, every mode.
+
+    Covers plain spans, the single-row memo, period ladders, and the
+    non-divisor ``row_len`` fallback, on 150 random streams.
+    """
+    for seed in range(150):
+        addresses, capacity, row_len = random_stream(seed)
+        stream = np.asarray(addresses, dtype=np.int64)
+        reference = opt_trace(stream, capacity, engine="reference")
+        variants = (
+            {},
+            {"row_len": row_len},
+            {"periods": (row_len,)},
+            {"periods": (row_len, max(1, row_len // 2))},
+            {"row_len": row_len + 1},  # non-divisor: plain fallback
+            {"periods": (row_len, row_len + 1, 1)},  # broken chain pruned
+        )
+        for kwargs in variants:
+            got = opt_trace(stream, capacity, engine="array", **kwargs)
+            _assert_traces_equal(
+                reference, got,
+                f"seed {seed} (capacity {capacity}, {kwargs})",
+            )
+        rowed = opt_trace(
+            stream, capacity, row_len=row_len, engine="reference"
+        )
+        _assert_traces_equal(
+            reference, rowed, f"seed {seed} reference rowed"
+        )
+
+
+def test_fuzz_tiled_streams_ladder_bit_identical():
+    """Inner-tile-periodic streams whose outer rows never repeat.
+
+    The period-ladder case the array engine exists for: the row-level
+    memo cannot replay anything, the tile level can — and the output
+    must equal the reference plain simulation exactly.
+    """
+    for seed in range(120):
+        addresses, capacity, periods = random_tiled_stream(seed)
+        stream = np.asarray(addresses, dtype=np.int64)
+        reference = opt_trace(stream, capacity, engine="reference")
+        for kwargs in (
+            {"periods": periods},
+            {"periods": periods[:1]},
+            {"periods": periods[1:]},
+        ):
+            got = opt_trace(stream, capacity, engine="array", **kwargs)
+            _assert_traces_equal(
+                reference, got, f"tiled seed {seed} ({kwargs})"
+            )
+
+
+def test_fuzz_lru_and_pinned_engines_agree():
+    """Stack-distance LRU and first-touch pinned == the reference loops."""
+    import random as _random
+
+    for seed in range(120):
+        addresses, _, _ = random_stream(seed)
+        stream = np.asarray(addresses, dtype=np.int64)
+        for capacity in (0, 1, 2, 3, 5, 9, 64):
+            fast = lru_misses(stream, capacity, engine="array")
+            slow = lru_misses(stream, capacity, engine="reference")
+            assert np.array_equal(fast, slow), (
+                f"lru seed {seed} capacity {capacity}"
+            )
+        rng = _random.Random(seed)
+        universe = sorted(set(addresses)) or [0]
+        pinned = set(rng.sample(universe, rng.randint(0, len(universe))))
+        fast = pinned_misses(stream, pinned, engine="array")
+        slow = pinned_misses(stream, pinned, engine="reference")
+        assert np.array_equal(fast, slow), f"pinned seed {seed}"
+
+
+def test_fuzz_opt_misses_heap_matches_max_scan():
+    """The lazy-deletion heap == the O(r) max-scan oracle, large caps too.
+
+    Pins the satellite claim that heap tie-breaking among never-reused
+    residents cannot change miss flags — including capacities at and
+    beyond the footprint, where every resident ends up dead.
+    """
+
+    def max_scan_reference(stream, capacity):
+        n = len(stream)
+        misses = np.ones(n, dtype=bool)
+        if capacity == 0:
+            return misses
+        addresses = stream.tolist()
+        next_use = [float("inf")] * n
+        last_seen = {}
+        for position in range(n - 1, -1, -1):
+            next_use[position] = last_seen.get(addresses[position], float("inf"))
+            last_seen[addresses[position]] = position
+        resident = {}
+        for position, address in enumerate(addresses):
+            if address in resident:
+                misses[position] = False
+            else:
+                if len(resident) >= capacity:
+                    victim = max(resident, key=lambda a: resident[a])
+                    del resident[victim]
+            resident[address] = next_use[position]
+        return misses
+
+    for seed in range(120):
+        addresses, _, _ = random_stream(seed)
+        stream = np.asarray(addresses, dtype=np.int64)
+        footprint = len(set(addresses))
+        for capacity in (0, 1, 2, 4, footprint, footprint + 7, 256):
+            got = opt_misses(stream, capacity)
+            want = max_scan_reference(stream, capacity)
+            assert np.array_equal(got, want), (
+                f"opt seed {seed} capacity {capacity}"
+            )
+
+
+@pytest.mark.parametrize("seed", range(0, 120, 10))
+def test_fuzz_coverage_engines_equal(seed):
+    """Array-engine coverage masks == reference-engine masks, both batches."""
+    case = random_case(seed)
+    for group in case.groups:
+        for registers in {0, 1, 2, case.budget, group.full_registers}:
+            for batch in (True, False):
+                for anchor in ("low", "high"):
+                    fast = GroupCoverage(
+                        case.kernel, group, batch=batch, engine="array"
+                    ).result(registers, anchor=anchor)
+                    slow = GroupCoverage(
+                        case.kernel, group, batch=batch, engine="reference"
+                    ).result(registers, anchor=anchor)
+                    assert np.array_equal(fast.read_miss, slow.read_miss)
+                    assert np.array_equal(fast.write_miss, slow.write_miss)
+                    assert fast.writeback_stores == slow.writeback_stores
+                    if fast.window_inserted is not None:
+                        assert np.array_equal(
+                            fast.window_inserted, slow.window_inserted
+                        )
+                        assert np.array_equal(
+                            fast.window_evicted, slow.window_evicted
+                        )
+                        assert np.array_equal(
+                            fast.window_freed, slow.window_freed
+                        )

@@ -7,9 +7,11 @@ from repro.errors import SimulationError
 from repro.sim.residency import (
     lru_misses,
     miss_count,
+    next_uses,
     opt_misses,
     opt_trace,
     pinned_misses,
+    prev_uses,
 )
 
 
@@ -117,3 +119,69 @@ class TestOptTrace:
         misses, inserted, evicted, freed = opt_trace(stream(1, 1), 0)
         assert misses.all()
         assert not inserted.any()
+
+
+class TestEngines:
+    """The array engine against the reference oracle, at unit scale.
+
+    (The fuzz suite drives the heavy differential coverage; these are
+    quick, debuggable pins.)
+    """
+
+    def test_use_links_are_mirrors(self):
+        s = stream(3, 1, 3, 2, 1, 3)
+        nxt = next_uses(s)
+        prv = prev_uses(s)
+        assert nxt.tolist() == [2, 4, 5, 6, 6, 6]
+        assert prv.tolist() == [-1, -1, 0, -1, 1, 2]
+
+    def test_lru_engines_agree(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            s = rng.integers(0, 8, size=50)
+            for capacity in (0, 1, 3, 8):
+                assert np.array_equal(
+                    lru_misses(s, capacity, engine="array"),
+                    lru_misses(s, capacity, engine="reference"),
+                )
+
+    def test_pinned_engines_agree(self):
+        s = np.tile(np.arange(4), 3)
+        for pinned in (set(), {0, 2}, {0, 1, 2, 3}, {9}):
+            assert np.array_equal(
+                pinned_misses(s, pinned, engine="array"),
+                pinned_misses(s, pinned, engine="reference"),
+            )
+
+    def test_period_ladder_equals_plain(self):
+        # 2 rows of 3 tiles of 2: tile-periodic, row bases irregular.
+        s = stream(0, 1, 4, 5, 8, 9, 100, 101, 110, 111, 120, 121)
+        plain = opt_trace(s, 3, engine="reference")
+        laddered = opt_trace(s, 3, periods=(6, 2), engine="array")
+        for left, right in zip(plain, laddered):
+            assert np.array_equal(left, right)
+
+    def test_non_divisor_row_len_falls_back(self):
+        s = stream(0, 1, 2, 0, 1, 2, 0)
+        for engine in ("array", "reference"):
+            plain = opt_trace(s, 2, engine=engine)
+            fallback = opt_trace(s, 2, row_len=3, engine=engine)  # 3 ∤ 7
+            for left, right in zip(plain, fallback):
+                assert np.array_equal(left, right)
+
+    def test_opt_misses_at_and_beyond_footprint_capacity(self):
+        # Large capacities leave only the distinct-address cold misses —
+        # the heap's tie-breaking among dead residents must not matter.
+        rng = np.random.default_rng(8)
+        s = rng.integers(0, 12, size=80)
+        distinct = len(set(s.tolist()))
+        for capacity in (distinct, distinct + 5, 512):
+            assert int(opt_misses(s, capacity).sum()) == distinct
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(SimulationError):
+            opt_trace(stream(1), 1, engine="quantum")
+        with pytest.raises(SimulationError):
+            lru_misses(stream(1), 1, engine="quantum")
+        with pytest.raises(SimulationError):
+            pinned_misses(stream(1), {1}, engine="quantum")
