@@ -16,6 +16,12 @@ machine-readable ``BENCH_<n>.json`` the repo's perf trajectory tracks:
   residency simulators (``--no-array-trace``), context off, so the
   number isolates the per-kernel analysis bill the array engine
   attacks;
+* **budget column** — the *cold* cost of one full budget column (one
+  window kernel, every grid budget) per budget vs in one ladder pass,
+  at three levels: LRU miss counts (one stack-distance histogram
+  answers the whole axis), the window coverage trace (one shared
+  capacity-independent plane), and the end-to-end CPA-RA design
+  column under a fresh context (``--no-budget-ladder`` off vs on);
 * **equivalence** — the no-context and context grids are compared
   record for record; a benchmark that got fast by changing answers
   fails loudly (``identical`` must be true).
@@ -31,8 +37,12 @@ absolute seconds print as context.  See ``docs/perf.md``.
 from __future__ import annotations
 
 import json
+import math
 import platform
 import time
+import warnings
+
+import numpy as np
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -55,8 +65,8 @@ __all__ = [
     "render_compare",
 ]
 
-#: Sequence number of this harness's output file (``BENCH_5.json``).
-BENCH_NUMBER = 5
+#: Sequence number of this harness's output file (``BENCH_6.json``).
+BENCH_NUMBER = 6
 
 #: The Table-1-shaped reference grid: 4 kernels x 5 allocators x 16
 #: budgets = 320 points, matching the acceptance target of the
@@ -117,6 +127,11 @@ class PerfReport:
     #: kernel -> {"reference": seconds, "array": seconds}: cold
     #: single-point evaluation under each trace engine, context off.
     trace_single: "dict[str, dict[str, float]]" = field(default_factory=dict)
+    #: kernel -> {"counts_per_budget": s, "counts_ladder": s,
+    #: "trace_per_budget": s, "trace_ladder": s, "evaluate_per_budget":
+    #: s, "evaluate_ladder": s}: the full budget column per budget vs in
+    #: one ladder pass (see :func:`_time_budget_column`).
+    budget_column: "dict[str, dict[str, float]]" = field(default_factory=dict)
 
     @property
     def speedup_cold(self) -> float:
@@ -141,11 +156,23 @@ class PerfReport:
             return 0.0
         return max(self.trace_speedup(k) for k in self.trace_single)
 
+    def column_speedup(self, kernel: str, level: str = "counts") -> float:
+        """Per-budget / ladder on one column level (counts, trace, evaluate)."""
+        timings = self.budget_column[kernel]
+        return timings[f"{level}_per_budget"] / timings[f"{level}_ladder"]
+
+    @property
+    def best_column_speedup(self) -> float:
+        """The largest per-kernel miss-count ladder speedup (0 unmeasured)."""
+        if not self.budget_column:
+            return 0.0
+        return max(self.column_speedup(k) for k in self.budget_column)
+
     def to_dict(self) -> dict:
         grid = perf_grid(self.quick)
         return {
             "bench": BENCH_NUMBER,
-            "name": "vectorized trace engine",
+            "name": "budget-ladder evaluation",
             "quick": self.quick,
             "grid": {
                 "kernels": list(grid.kernels),
@@ -172,6 +199,22 @@ class PerfReport:
                     "speedup": self.trace_speedup(kernel),
                 }
                 for kernel, timings in self.trace_single.items()
+            },
+            "budget_column": {
+                kernel: {
+                    "counts_per_budget_s": timings["counts_per_budget"],
+                    "counts_ladder_s": timings["counts_ladder"],
+                    "trace_per_budget_s": timings["trace_per_budget"],
+                    "trace_ladder_s": timings["trace_ladder"],
+                    "trace_speedup": self.column_speedup(kernel, "trace"),
+                    "evaluate_per_budget_s": timings["evaluate_per_budget"],
+                    "evaluate_ladder_s": timings["evaluate_ladder"],
+                    "evaluate_speedup": self.column_speedup(
+                        kernel, "evaluate"
+                    ),
+                    "speedup": self.column_speedup(kernel),
+                }
+                for kernel, timings in self.budget_column.items()
             },
             "single_repeats": self.single_repeats,
             "identical": self.identical,
@@ -229,6 +272,101 @@ def _time_trace_engines(
     return timings
 
 
+def _window_stream(kernel_name: str) -> "tuple[object, object, np.ndarray]":
+    """(kernel, window group, flat access stream) of one window kernel."""
+    from repro.analysis.groups import build_groups
+    from repro.scalar.coverage import GroupCoverage
+
+    kernel = DesignQuery(
+        kernel=kernel_name, allocator="NO-SR", budget=1
+    ).build_kernel()
+    groups = build_groups(kernel)
+    group = next(
+        g for g in groups if GroupCoverage(kernel, g).kind == "window"
+    )
+    grids = kernel.nest.meshgrids()
+    stream = np.broadcast_to(
+        group.ref.flat_address_grid(grids), kernel.nest.trip_counts()
+    ).reshape(-1)
+    return kernel, group, stream
+
+
+def _time_budget_column(
+    kernels: "tuple[str, ...]", budgets: "tuple[int, ...]", repeats: int
+) -> "dict[str, dict[str, float]]":
+    """Cold full-budget-column seconds, per budget vs ladder, per kernel.
+
+    Three levels per window kernel, every one a real consumer path and
+    bit-identical across modes:
+
+    * ``counts`` — LRU miss counts of the window stream at every grid
+      budget: one :func:`~repro.sim.residency.lru_misses` replay per
+      budget vs a single stack-distance histogram + suffix-sum pass
+      (:func:`~repro.sim.residency.lru_miss_counts`), the
+      ``residency_study`` path;
+    * ``trace`` — the window coverage result at every budget: a fresh
+      :class:`~repro.scalar.coverage.GroupCoverage` per mode, ladder
+      off (one Belady trace per budget) vs on (one shared
+      capacity-independent plane, a memoized walk per budget);
+    * ``evaluate`` — the end-to-end CPA-RA design column under a fresh
+      :class:`EvalContext` per timing (cold in the sense that matters:
+      no coverage or trace plane carried over), with a throwaway
+      evaluation first warming the process kernel memo so neither mode
+      is charged for kernel construction.
+    """
+    from repro.scalar.coverage import GroupCoverage
+    from repro.sim.residency import lru_miss_counts, lru_misses
+
+    timings: dict[str, dict[str, float]] = {}
+    for kernel_name in kernels:
+        kernel, group, stream = _window_stream(kernel_name)
+        per_mode: dict[str, float] = {}
+
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            for budget in budgets:
+                lru_misses(stream, budget).sum()
+            best = min(best, time.perf_counter() - started)
+        per_mode["counts_per_budget"] = best
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            lru_miss_counts(stream, budgets)
+            best = min(best, time.perf_counter() - started)
+        per_mode["counts_ladder"] = best
+
+        for mode, ladder in (("trace_per_budget", False), ("trace_ladder", True)):
+            best = float("inf")
+            for _ in range(repeats):
+                coverage = GroupCoverage(kernel, group, ladder=ladder)
+                started = time.perf_counter()
+                for budget in budgets:
+                    coverage.result(budget)
+                best = min(best, time.perf_counter() - started)
+            per_mode[mode] = best
+
+        queries = [
+            DesignQuery(kernel=kernel_name, allocator="CPA-RA", budget=budget)
+            for budget in budgets
+        ]
+        evaluate_query(queries[0], context=False)
+        for mode, ladder in (
+            ("evaluate_per_budget", False),
+            ("evaluate_ladder", True),
+        ):
+            best = float("inf")
+            for _ in range(repeats):
+                ctx = EvalContext()
+                started = time.perf_counter()
+                for query in queries:
+                    evaluate_query(query, context=ctx, ladder=ladder)
+                best = min(best, time.perf_counter() - started)
+            per_mode[mode] = best
+        timings[kernel_name] = per_mode
+    return timings
+
+
 def run_perf(quick: bool = False, single_repeats: int = 5) -> PerfReport:
     """Run the full harness at ``jobs=1``; pure measurement, no I/O.
 
@@ -254,6 +392,16 @@ def run_perf(quick: bool = False, single_repeats: int = 5) -> PerfReport:
     trace_single = _time_trace_engines(
         QUICK_TRACE_KERNELS if quick else TRACE_KERNELS, single_repeats
     )
+    # The column benchmark always measures the FULL budget axis — its
+    # ratios must be comparable between quick and full reports (the CI
+    # smoke gates against the committed full run) — and a column is
+    # ~|budgets| points per timing, so a couple of repeats keep the
+    # harness's runtime sane without losing the best-of floor.
+    budget_column = _time_budget_column(
+        QUICK_TRACE_KERNELS if quick else TRACE_KERNELS,
+        GRID_BUDGETS,
+        min(single_repeats, 2),
+    )
 
     return PerfReport(
         quick=quick,
@@ -267,6 +415,7 @@ def run_perf(quick: bool = False, single_repeats: int = 5) -> PerfReport:
         identical=identical,
         context_stats=ctx.stats.as_dict(),
         trace_single=trace_single,
+        budget_column=budget_column,
     )
 
 
@@ -289,6 +438,16 @@ def render_perf(report: PerfReport) -> str:
             f"  trace {kernel:<7} {timings['reference'] * 1e3:8.2f}ms -> "
             f"{timings['array'] * 1e3:.2f}ms array "
             f"({report.trace_speedup(kernel):.2f}x cold, context off)"
+        )
+    for kernel, timings in report.budget_column.items():
+        lines.append(
+            f"  column {kernel:<6} counts "
+            f"{timings['counts_per_budget'] * 1e3:8.2f}ms -> "
+            f"{timings['counts_ladder'] * 1e3:.2f}ms "
+            f"({report.column_speedup(kernel):.2f}x), trace "
+            f"{report.column_speedup(kernel, 'trace'):.2f}x, evaluate "
+            f"{report.column_speedup(kernel, 'evaluate'):.2f}x "
+            f"(full budget axis, one ladder pass vs per budget)"
         )
     lines.append(f"  records bit-identical: {report.identical}")
     return "\n".join(lines)
@@ -338,11 +497,11 @@ def _flat_ratios(doc: dict) -> "dict[str, float]":
         f"speedup.{key}": float(value)
         for key, value in (doc.get("speedup") or {}).items()
     }
-    for kernel, timings in (doc.get("trace_single") or {}).items():
-        if "speedup" in timings:
-            ratios[f"trace_single.{kernel}.speedup"] = float(
-                timings["speedup"]
-            )
+    for section in ("trace_single", "budget_column"):
+        for kernel, timings in (doc.get(section) or {}).items():
+            for key, value in timings.items():
+                if key == "speedup" or key.endswith("_speedup"):
+                    ratios[f"{section}.{kernel}.{key}"] = float(value)
     return ratios
 
 
@@ -351,9 +510,11 @@ def compare_reports(
 ) -> "tuple[list[CompareRow], list[CompareRow]]":
     """Diff two report documents; returns ``(rows, regressions)``.
 
-    Only metrics present in *both* documents are compared (the harness
-    grows new sections over time; ``BENCH_4.json`` has no trace-engine
-    block).  A metric regresses when the new report is more than
+    Ratio metrics present in *both* documents are compared; a ratio
+    only the *new* report has (the harness grows new sections over
+    time — ``BENCH_4.json`` has no trace-engine block, ``BENCH_5.json``
+    no budget-column block) still prints, as a non-gating info row with
+    no old value.  A metric regresses when the new report is more than
     ``threshold`` times worse; which metrics *gate* depends on whether
     the two reports measured the same grid (identical ``grid`` blocks):
 
@@ -365,15 +526,46 @@ def compare_reports(
     * **different grids** (e.g. a ``--quick`` CI run vs the committed
       full run): only the host-independent **ratio** metrics gate, and
       the threshold should stay loose — grid shape shifts ratios too.
+
+    A report with no ``grid`` block at all cannot claim to share a grid
+    with anything — two grid-less reports may come from unrelated
+    hosts, and gating absolute seconds across hosts is meaningless.
+    Missing grids therefore fall back to ratio-only gating, with a
+    warning naming the defect.
     """
     rows: list[CompareRow] = []
-    same_grid = (old.get("grid") or {}) == (new.get("grid") or {})
+    old_grid, new_grid = old.get("grid"), new.get("grid")
+    if old_grid is None or new_grid is None:
+        which = " and ".join(
+            label
+            for label, grid in (("old", old_grid), ("new", new_grid))
+            if grid is None
+        )
+        warnings.warn(
+            f"perf compare: {which} report missing its 'grid' block; "
+            "cannot prove the reports measured the same grid on the "
+            "same host — absolute seconds will not gate (ratio-only "
+            "comparison)",
+            stacklevel=2,
+        )
+        same_grid = False
+    else:
+        same_grid = old_grid == new_grid
     old_ratios, new_ratios = _flat_ratios(old), _flat_ratios(new)
     for metric in sorted(old_ratios.keys() & new_ratios.keys()):
         rows.append(
             CompareRow(
                 metric, old_ratios[metric], new_ratios[metric], "ratio",
                 gates=not same_grid,
+            )
+        )
+    for metric in sorted(new_ratios.keys() - old_ratios.keys()):
+        # New-only sections (harness growth) cannot regress anything,
+        # but their ratios are the headline of a perf PR — show them.
+        rows.append(
+            CompareRow(
+                metric, float("nan"), new_ratios[metric], "ratio",
+                gates=False,
             )
         )
     old_seconds = old.get("seconds") or {}
@@ -411,11 +603,14 @@ def render_compare(
         verdict = "REGRESSED" if row.regressed(threshold) else (
             "ok" if row.gates else "info"
         )
+        # New-only metrics carry NaN for the missing old value; render
+        # them as '-' (and skip the meaningless change factor).
+        new_only = math.isnan(row.old)
         body.append([
             row.metric,
-            f"{row.old:.4g}",
+            "-" if new_only else f"{row.old:.4g}",
             f"{row.new:.4g}",
-            f"{row.change:.2f}x",
+            "-" if new_only else f"{row.change:.2f}x",
             verdict,
         ])
     table = render_table(

@@ -24,8 +24,7 @@ from repro.explore.cache import ResultCache
 from repro.explore.executor import Executor
 from repro.explore.query import DesignQuery, DesignRecord, LatencySpec
 from repro.ir.kernel import Kernel
-from repro.scalar.coverage import GroupCoverage
-from repro.sim.residency import lru_misses, opt_trace, pinned_misses
+from repro.sim.residency import OptTraceLadder, lru_miss_counts, pinned_misses
 
 __all__ = [
     "BudgetPoint",
@@ -210,6 +209,13 @@ def residency_study(
     Demonstrates why the coverage model uses pinned residency for
     invariant references (LRU thrashes on cyclic sweeps) and Belady for
     windows (LRU dies on strided windows).
+
+    The whole capacity axis of each group is evaluated in one ladder
+    pass: LRU misses for every capacity come from a single
+    stack-distance histogram (:func:`lru_miss_counts`) and the Belady
+    traces share one capacity-independent
+    :class:`~repro.sim.residency.OptTraceLadder` plane — bit-identical
+    to the per-capacity calls they replace.
     """
     groups = build_groups(kernel)
     grids = kernel.nest.meshgrids()
@@ -222,17 +228,18 @@ def residency_study(
         ).reshape(-1)
         beta = group.full_registers
         caps = capacities or sorted({1, max(2, beta // 4), max(2, beta // 2), beta})
+        caps = [min(capacity, beta) for capacity in caps]
+        lru_by_capacity = lru_miss_counts(stream, sorted(set(caps)))
+        plane = OptTraceLadder(stream)
         for capacity in caps:
-            capacity = min(capacity, beta)
-            coverage = GroupCoverage(kernel, group)
             pinned_set = set(np.unique(stream)[:capacity].tolist())
             points.append(
                 ResidencyPoint(
                     group=group.name,
                     capacity=capacity,
                     pinned=int(pinned_misses(stream, pinned_set).sum()),
-                    lru=int(lru_misses(stream, capacity).sum()),
-                    opt=int(opt_trace(stream, capacity)[0].sum()),
+                    lru=lru_by_capacity[capacity],
+                    opt=int(plane.trace(capacity)[0].sum()),
                 )
             )
     return points

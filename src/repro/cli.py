@@ -143,6 +143,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         context=not args.no_context,
         shard=args.shard,
         trace_engine="reference" if args.no_array_trace else "array",
+        ladder=not args.no_budget_ladder,
     )
     results = executor.run(space)
     if args.format == "json":
@@ -211,6 +212,17 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             f"perf: FAIL — best trace-engine speedup "
             f"{report.best_trace_speedup:.2f}x is below the required "
             f"{args.min_trace_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_column_speedup is not None
+        and report.best_column_speedup < args.min_column_speedup
+    ):
+        print(
+            f"perf: FAIL — best budget-column ladder speedup "
+            f"{report.best_column_speedup:.2f}x is below the required "
+            f"{args.min_column_speedup:.2f}x",
             file=sys.stderr,
         )
         return 1
@@ -330,6 +342,12 @@ def main(argv: "list[str] | None" = None) -> int:
         "residency simulators (results are bit-identical either way)",
     )
     p_explore.add_argument(
+        "--no-budget-ladder", action="store_true",
+        help="disable budget-ladder evaluation (per-budget trace planes "
+        "and per-budget knapsack tables; results are bit-identical "
+        "either way)",
+    )
+    p_explore.add_argument(
         "--profile", action="store_true",
         help="print a per-stage wall-time breakdown (kernel build / "
         "allocation / DFG+coverage / cycle count) of the evaluated points",
@@ -340,7 +358,7 @@ def main(argv: "list[str] | None" = None) -> int:
 
     p_perf = sub.add_parser(
         "perf",
-        help="run the tracked microbenchmark harness (emits BENCH_5.json) "
+        help="run the tracked microbenchmark harness (emits BENCH_6.json) "
         "or compare two emitted reports",
     )
     p_perf.add_argument(
@@ -349,7 +367,7 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     p_perf.add_argument(
         "--out", default=None, metavar="PATH",
-        help="write the JSON report here (e.g. BENCH_5.json)",
+        help="write the JSON report here (e.g. BENCH_6.json)",
     )
     p_perf.add_argument(
         "--repeats", type=int, default=5,
@@ -364,6 +382,12 @@ def main(argv: "list[str] | None" = None) -> int:
         "--min-trace-speedup", type=float, default=None, metavar="X",
         help="exit non-zero unless the array trace engine beats the "
         "reference simulators by at least X on some window kernel",
+    )
+    p_perf.add_argument(
+        "--min-column-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless the budget ladder beats per-budget "
+        "evaluation by at least X on some window kernel's full budget "
+        "column",
     )
     p_perf.add_argument(
         "--compare", nargs=2, default=None, metavar=("OLD.json", "NEW.json"),

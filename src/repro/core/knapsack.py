@@ -31,9 +31,11 @@ class KnapsackAllocator(Allocator):
 
         # Classic DP over capacity; reconstruct the chosen set.  The DP
         # recurrence for capacity ``c`` never reads beyond ``c``, so one
-        # table computed at the largest capacity seen answers every
-        # smaller budget of a sweep bit-identically — the context memo
-        # exploits exactly that across the budget axis.
+        # table computed at the all-items capacity answers *every*
+        # budget of a sweep bit-identically — the batched ladder DP.
+        # The context memoizes that table across points; without a
+        # context the table still covers the whole budget axis of this
+        # call (and reconstruction below only reads columns <= capacity).
         signature = tuple(
             (g.name, weight, value)
             for g, weight, value in zip(items, weights, values)
@@ -43,7 +45,8 @@ class KnapsackAllocator(Allocator):
                 state.kernel, signature, capacity
             )
         else:
-            best, keep = solve_knapsack(signature, capacity)
+            target = max(capacity, sum(weights))
+            best, keep = solve_knapsack(signature, target)
 
         chosen: list[int] = []
         cap = capacity

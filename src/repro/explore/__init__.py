@@ -38,9 +38,11 @@ See ``docs/explore.md`` for the full API, the cache layout and the
 from repro.explore.batch import (
     BatchMismatch,
     compare_batched,
+    compare_ladder,
     compare_trace_engines,
     iteration_classes,
     verify_batch_equivalence,
+    verify_ladder_equivalence,
     verify_trace_equivalence,
 )
 from repro.explore.cache import CacheCorruptionWarning, ResultCache
@@ -89,6 +91,7 @@ __all__ = [
     "VersionRegistry",
     "code_version",
     "compare_batched",
+    "compare_ladder",
     "compare_trace_engines",
     "default_registry",
     "evaluate_query",
@@ -107,5 +110,6 @@ __all__ = [
     "shard_queries",
     "static_cost",
     "verify_batch_equivalence",
+    "verify_ladder_equivalence",
     "verify_trace_equivalence",
 ]

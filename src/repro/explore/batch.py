@@ -41,8 +41,10 @@ __all__ = [
     "BatchMismatch",
     "compare_batched",
     "compare_trace_engines",
+    "compare_ladder",
     "verify_batch_equivalence",
     "verify_trace_equivalence",
+    "verify_ladder_equivalence",
     "iteration_classes",
 ]
 
@@ -101,6 +103,27 @@ def compare_trace_engines(
     return _diff_records(query, fast, slow)
 
 
+def compare_ladder(
+    query: DesignQuery, batch: bool = True, trace_engine: str = "array"
+) -> list[BatchMismatch]:
+    """Evaluate ``query`` with and without the budget ladder; diff records.
+
+    The budget-ladder fast path (capacity-shared trace planes, see
+    :class:`~repro.sim.residency.OptTraceLadder`) must be bit-identical
+    to per-budget evaluation at every ``batch`` × ``trace_engine``
+    combination — the record-level audit behind
+    ``repro explore --no-budget-ladder``, mirroring
+    :func:`compare_batched`.
+    """
+    fast = evaluate_query(
+        query, batch=batch, trace_engine=trace_engine, ladder=True
+    )
+    slow = evaluate_query(
+        query, batch=batch, trace_engine=trace_engine, ladder=False
+    )
+    return _diff_records(query, fast, slow)
+
+
 def verify_batch_equivalence(
     queries: "Iterable[DesignQuery]",
 ) -> list[BatchMismatch]:
@@ -118,6 +141,20 @@ def verify_trace_equivalence(
     mismatches: list[BatchMismatch] = []
     for query in queries:
         mismatches.extend(compare_trace_engines(query, batch=batch))
+    return mismatches
+
+
+def verify_ladder_equivalence(
+    queries: "Iterable[DesignQuery]",
+    batch: bool = True,
+    trace_engine: str = "array",
+) -> list[BatchMismatch]:
+    """Ladder-vs-per-budget mismatches over a query list (empty = clean)."""
+    mismatches: list[BatchMismatch] = []
+    for query in queries:
+        mismatches.extend(
+            compare_ladder(query, batch=batch, trace_engine=trace_engine)
+        )
     return mismatches
 
 

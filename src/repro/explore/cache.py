@@ -4,12 +4,18 @@ Layout (one JSON file per design point)::
 
     <root>/
       <query_digest>.json    # {"format", "versions", "query", "record",
-                             #  "seconds"}
+                             #  "seconds", "trace_engine", "batch"}
 
 ``seconds`` is the point's measured evaluation wall time — envelope
 bookkeeping (like ``versions``), not part of the record's identity: it
 feeds the cost model in :mod:`repro.explore.schedule` and is reattached
-to the record on lookup.
+to the record on lookup.  ``trace_engine`` / ``batch`` record which
+evaluation path *produced* the timing (records themselves are
+bit-identical across paths, so they never affect the entry's identity
+or validity): the cost model keys its observations by producing engine
+so an engine switch cannot skew LPT packing.  Both are optional —
+entries written before provenance was recorded simply fit as
+engine-unknown.
 
 Each entry is keyed by the query's content digest and guarded by the
 *version vector* of the modules its evaluation can reach (see
@@ -143,8 +149,19 @@ class ResultCache:
         record, _ = self.lookup(query)
         return record
 
-    def put(self, record: DesignRecord) -> Path:
-        """Atomically persist ``record``; returns the entry path."""
+    def put(
+        self,
+        record: DesignRecord,
+        trace_engine: "str | None" = None,
+        batch: "bool | None" = None,
+    ) -> Path:
+        """Atomically persist ``record``; returns the entry path.
+
+        ``trace_engine`` / ``batch`` optionally record which evaluation
+        path produced the record's timing (see the module docstring);
+        they are envelope provenance, not identity — no format bump, and
+        lookups ignore them.
+        """
         path = self.path_for(record.query)
         path.parent.mkdir(parents=True, exist_ok=True)
         doc = {
@@ -154,6 +171,10 @@ class ResultCache:
             "record": record.to_dict(),
             "seconds": record.seconds,
         }
+        if trace_engine is not None:
+            doc["trace_engine"] = trace_engine
+        if batch is not None:
+            doc["batch"] = bool(batch)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(doc, indent=2, sort_keys=True))
         os.replace(tmp, path)

@@ -21,7 +21,8 @@ memo                          key
 kernel + reference groups     ``(kernel_name, kernel_json)``
 body DFG                      the kernel bundle (DFG depends only on
                               kernel + groups)
-coverage computers            ``(kernel bundle, batch, trace engine)`` — one
+coverage computers            ``(kernel bundle, batch, trace engine,
+                              ladder)`` — one
                               :class:`~repro.scalar.coverage.GroupCoverage`
                               per group, which itself memoizes results per
                               ``(registers, anchor)``
@@ -147,7 +148,7 @@ class _KernelArtifacts:
     kernel: "Kernel"
     groups: "tuple[RefGroup, ...]"
     dfg: "DataFlowGraph | None" = None
-    #: (batch flag, trace engine) -> {group name -> GroupCoverage}
+    #: (batch flag, trace engine, ladder flag) -> {group name -> GroupCoverage}
     coverages: "dict[tuple, dict[str, GroupCoverage]]" = field(
         default_factory=dict
     )
@@ -292,6 +293,7 @@ class EvalContext:
         groups: "tuple[RefGroup, ...] | None" = None,
         batch: bool = True,
         trace_engine: str = "array",
+        ladder: bool = True,
     ) -> "dict[str, GroupCoverage]":
         """Shared coverage computers for every group of ``kernel``.
 
@@ -299,25 +301,28 @@ class EvalContext:
         results per ``(registers, anchor)``, so sharing them across the
         budget/allocator axes is where a sweep's rank/Belady work
         collapses to once-per-kernel.  Computers are keyed by
-        ``(batch, trace_engine)``: the combinations are bit-identical,
-        but each must build its own artifacts so the differential
-        oracles never answer from the path under test.  Callers must
-        treat the dict as read-only.
+        ``(batch, trace_engine, ladder)``: the combinations are
+        bit-identical, but each must build its own artifacts so the
+        differential oracles never answer from the path under test.
+        Callers must treat the dict as read-only.
         """
         bundle = self._bundle_for(kernel, groups)
         if bundle is None:
             self.stats.coverage_misses += 1
             return {
-                g.name: GroupCoverage(kernel, g, batch=batch, engine=trace_engine)
+                g.name: GroupCoverage(
+                    kernel, g, batch=batch, engine=trace_engine, ladder=ladder
+                )
                 for g in groups
             }
-        key = (batch, trace_engine)
+        key = (batch, trace_engine, ladder)
         shared = bundle.coverages.get(key)
         if shared is None:
             self.stats.coverage_misses += 1
             shared = {
                 g.name: GroupCoverage(
-                    bundle.kernel, g, batch=batch, engine=trace_engine
+                    bundle.kernel, g, batch=batch, engine=trace_engine,
+                    ladder=ladder,
                 )
                 for g in bundle.groups
             }
@@ -441,6 +446,7 @@ class EvalContext:
         coverages: "dict[str, GroupCoverage] | None",
         batch: bool,
         trace_engine: str = "array",
+        ladder: bool = True,
     ) -> "object | None":
         """A memoized :class:`~repro.sim.cycles.CycleReport`, or None.
 
@@ -456,7 +462,7 @@ class EvalContext:
         mutate ``ram_accesses``.
         """
         bundle = self._report_bundle(
-            kernel, groups, dfg, coverages, batch, trace_engine
+            kernel, groups, dfg, coverages, batch, trace_engine, ladder
         )
         if bundle is None:
             return None
@@ -477,10 +483,11 @@ class EvalContext:
         coverages: "dict[str, GroupCoverage] | None",
         batch: bool,
         trace_engine: str = "array",
+        ladder: bool = True,
     ) -> None:
         """Store a computed report under its full-parameterization key."""
         bundle = self._report_bundle(
-            kernel, groups, dfg, coverages, batch, trace_engine
+            kernel, groups, dfg, coverages, batch, trace_engine, ladder
         )
         if bundle is not None:
             bundle.cycle_reports[key] = report
@@ -493,6 +500,7 @@ class EvalContext:
         coverages: "dict[str, GroupCoverage] | None",
         batch: bool,
         trace_engine: str,
+        ladder: bool = True,
     ) -> "_KernelArtifacts | None":
         """The bundle a cycle-report may memoize against, or None."""
         bundle = self._by_object.get(id(kernel))
@@ -503,7 +511,9 @@ class EvalContext:
         if dfg is not bundle.dfg:
             return None
         if coverages is not None and (
-            coverages is not bundle.coverages.get((batch, trace_engine))
+            coverages is not bundle.coverages.get(
+                (batch, trace_engine, ladder)
+            )
         ):
             return None
         return bundle

@@ -43,8 +43,9 @@ from repro.explore.context import EvalContext, process_context, resolve_context
 from repro.explore.query import DesignQuery, DesignRecord
 from repro.hw.device import Device
 from repro.ir.kernel import Kernel
+from repro.scalar.coverage import trace_engine_seconds
 from repro.synth.design import HardwareDesign
-from repro.synth.estimate import build_design, charge_stage
+from repro.synth.estimate import build_design, charge_stage, fold_trace_stage
 
 __all__ = [
     "design_for",
@@ -75,6 +76,7 @@ def design_for(
     context: "bool | EvalContext | None" = True,
     stages: "dict[str, float] | None" = None,
     trace_engine: str = "array",
+    ladder: bool = True,
 ) -> "tuple[HardwareDesign, Device]":
     """The fully evaluated design of one query (raises on domain errors).
 
@@ -85,36 +87,53 @@ def design_for(
 
     ``stages``, when given, accumulates per-stage wall seconds under the
     keys ``kernel`` / ``alloc`` / ``dfg_schedule`` / ``trace`` /
-    ``cycles`` / ``other`` (the ``--profile`` breakdown).
+    ``cycles`` / ``other`` (the ``--profile`` breakdown).  The trace
+    share is folded out in a ``finally`` around the whole evaluation
+    (:func:`~repro.synth.estimate.fold_trace_stage`): the split happens
+    in the evaluating process itself — pool workers included, which is
+    what keeps ``--profile`` totals invariant under ``--jobs`` — and
+    survives domain errors, so failed records carry their trace
+    attribution too.
     ``trace_engine`` selects the residency-simulator implementation
     (``"array"`` — the vectorized default — or ``"reference"``, the
     oracle; records are bit-identical either way, so the cache is
-    shared between them like it is across ``batch``).
+    shared between them like it is across ``batch``), and ``ladder``
+    the budget-ladder fast path (also bit-identical; CLI escape hatch
+    ``--no-budget-ladder``).
     """
     ctx = resolve_context(context)
     started = time.perf_counter()
-    if ctx is not None:
-        kernel, groups = ctx.kernel_and_groups(query.kernel, query.kernel_json)
-    else:
-        kernel, groups = _kernel_and_groups(query.kernel, query.kernel_json)
-    device = query.build_device()
-    mark = charge_stage(stages, "kernel", started)
-    allocator = allocator_by_name(query.allocator)
-    allocation = allocator.allocate(kernel, query.budget, groups, context=ctx)
-    charge_stage(stages, "alloc", mark)
-    design = build_design(
-        kernel,
-        allocation,
-        groups=groups,
-        device=device,
-        model=query.latency.to_model(),
-        ram_ports=query.ram_ports or None,
-        overhead_per_iteration=query.overhead,
-        batch=batch,
-        context=ctx,
-        stages=stages,
-        trace_engine=trace_engine,
-    )
+    trace_before = trace_engine_seconds()
+    try:
+        if ctx is not None:
+            kernel, groups = ctx.kernel_and_groups(
+                query.kernel, query.kernel_json
+            )
+        else:
+            kernel, groups = _kernel_and_groups(query.kernel, query.kernel_json)
+        device = query.build_device()
+        mark = charge_stage(stages, "kernel", started)
+        allocator = allocator_by_name(query.allocator)
+        allocation = allocator.allocate(
+            kernel, query.budget, groups, context=ctx
+        )
+        charge_stage(stages, "alloc", mark)
+        design = build_design(
+            kernel,
+            allocation,
+            groups=groups,
+            device=device,
+            model=query.latency.to_model(),
+            ram_ports=query.ram_ports or None,
+            overhead_per_iteration=query.overhead,
+            batch=batch,
+            context=ctx,
+            stages=stages,
+            trace_engine=trace_engine,
+            ladder=ladder,
+        )
+    finally:
+        fold_trace_stage(stages, trace_before)
     return design, device
 
 
@@ -123,6 +142,7 @@ def evaluate_query(
     batch: bool = True,
     context: "bool | EvalContext | None" = True,
     trace_engine: str = "array",
+    ladder: bool = True,
 ) -> DesignRecord:
     """Run the full pipeline for one design point.
 
@@ -133,7 +153,7 @@ def evaluate_query(
     try:
         design, device = design_for(
             query, batch=batch, context=context, stages=stages,
-            trace_engine=trace_engine,
+            trace_engine=trace_engine, ladder=ladder,
         )
     except ReproError as exc:
         return replace(DesignRecord.failed(query, exc), stages=stages)
@@ -146,6 +166,7 @@ def evaluate_query_safe(
     batch: bool = True,
     context: "bool | EvalContext | None" = True,
     trace_engine: str = "array",
+    ladder: bool = True,
 ) -> DesignRecord:
     """Like :func:`evaluate_query`, but crash-proof and timed.
 
@@ -159,7 +180,8 @@ def evaluate_query_safe(
     started = time.perf_counter()
     try:
         record = evaluate_query(
-            query, batch=batch, context=context, trace_engine=trace_engine
+            query, batch=batch, context=context, trace_engine=trace_engine,
+            ladder=ladder,
         )
     except Exception as exc:  # noqa: BLE001 — the whole point
         record = DesignRecord.crashed(query, exc)

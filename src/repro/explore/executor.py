@@ -127,7 +127,7 @@ class ExploreStats:
 
 def _evaluate_chunk(
     queries: "list[DesignQuery]", batch: bool, context: bool,
-    trace_engine: str,
+    trace_engine: str, ladder: bool = True,
 ) -> "list[DesignRecord]":
     """Worker task: evaluate one chunk, crash-proof, one IPC round trip.
 
@@ -137,7 +137,8 @@ def _evaluate_chunk(
     """
     return [
         evaluate_query_safe(
-            query, batch=batch, context=context, trace_engine=trace_engine
+            query, batch=batch, context=context, trace_engine=trace_engine,
+            ladder=ladder,
         )
         for query in queries
     ]
@@ -172,6 +173,13 @@ class Executor:
         CLI: ``--no-array-trace``).  Records are bit-identical either
         way, so the cache is shared across engines like it is across
         ``batch``.
+    ladder:
+        Evaluate through the budget-ladder fast path (the default):
+        capacity-independent trace artifacts — use links, period-level
+        row classification — are shared across every register budget of
+        a kernel instead of being rebuilt per budget.  Bit-identical
+        records (CLI escape hatch: ``--no-budget-ladder``), so the
+        cache is shared across this flag too.
     context:
         Evaluate on the shared-artifact plane
         (:class:`~repro.explore.context.EvalContext`): DFGs, coverage
@@ -199,6 +207,7 @@ class Executor:
         context: "bool | EvalContext" = True,
         shard: "tuple[int, int] | str | None" = None,
         trace_engine: str = "array",
+        ladder: bool = True,
     ):
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
@@ -220,6 +229,7 @@ class Executor:
         self.batch = batch
         self.context = context
         self.trace_engine = trace_engine
+        self.ladder = ladder
         self.shard = parse_shard(shard) if shard is not None else None
 
     def run(
@@ -274,7 +284,9 @@ class Executor:
             # Crash records are never cached: the failure may be
             # transient (OOM, a since-fixed bug), so resumes retry them.
             if self.cache is not None and not record.crash:
-                self.cache.put(record)
+                self.cache.put(
+                    record, trace_engine=self.trace_engine, batch=self.batch
+                )
             done += 1
             if progress:
                 progress(done, len(queries))
@@ -308,7 +320,7 @@ class Executor:
             for index, query in pending:
                 yield index, evaluate_query_safe(
                     query, batch=self.batch, context=self.context,
-                    trace_engine=self.trace_engine,
+                    trace_engine=self.trace_engine, ladder=self.ladder,
                 )
             return
         # An EvalContext instance cannot cross a process boundary; worker
@@ -323,6 +335,7 @@ class Executor:
                     self.batch,
                     context_flag,
                     self.trace_engine,
+                    self.ladder,
                 ): chunk
                 for chunk in chunks
             }
@@ -360,11 +373,18 @@ class Executor:
             return [
                 pending[i : i + size] for i in range(0, len(pending), size)
             ]
-        model = CostModel()
+        # Key the model's preference to this run's engine: timings
+        # produced by the other engine still inform estimates (fallback)
+        # but no longer masquerade as same-engine observations.
+        model = CostModel(trace_engine=self.trace_engine)
         for query, seconds in timings or ():
+            # Cache-hit timings carry no engine provenance at this
+            # layer; they are observed as engine-unknown.
             model.observe(query, seconds)
         if model.observations == 0:
-            model = CostModel.from_cache(self.cache)
+            model = CostModel.from_cache(
+                self.cache, trace_engine=self.trace_engine
+            )
         bins = min(len(pending), self.jobs * 4)
         cost = lambda item: model.estimate(item[1])  # noqa: E731
         if self.context:
@@ -386,9 +406,11 @@ def run_queries(
     context: "bool | EvalContext" = True,
     shard: "tuple[int, int] | str | None" = None,
     trace_engine: str = "array",
+    ladder: bool = True,
 ) -> ResultSet:
     """One-call convenience wrapper around :class:`Executor`."""
     return Executor(
         jobs=jobs, cache=cache, reuse_cache=reuse_cache, batch=batch,
         context=context, shard=shard, trace_engine=trace_engine,
+        ladder=ladder,
     ).run(queries)

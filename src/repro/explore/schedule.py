@@ -93,7 +93,10 @@ class CostModel:
     Observations are aggregated at two granularities and fall back
     gracefully:
 
-    1. mean of timings for the exact ``(kernel, allocator)`` pair;
+    1. mean of timings for the exact ``(kernel, allocator)`` pair,
+       preferring timings measured under *this model's* trace engine;
+       when none exist, the pair's timings from other (or unknown)
+       engines answer instead — the graceful cross-engine fallback;
     2. the kernel's mean across allocators, rescaled by the allocator's
        static weight ratio;
     3. the global mean, rescaled by the point's static-prior ratio;
@@ -101,19 +104,41 @@ class CostModel:
 
     Rescaling by prior *ratios* keeps the fallbacks ordered the same way
     the priors are, so LPT packing stays sensible even from sparse data.
+
+    ``trace_engine`` names the engine the *upcoming* run will use.
+    Timings are keyed by the engine that produced them (``observe``'s
+    ``trace_engine``, ``None`` for unknown provenance — e.g. legacy
+    cache entries written before provenance was recorded): the array and
+    reference engines differ by integer factors on trace-heavy kernels,
+    so mixing their timings blindly skewed LPT packing after an engine
+    switch.
     """
 
-    def __init__(self) -> None:
-        self._pair: dict[tuple[str, "str | None", str], list[float]] = {}
+    def __init__(self, trace_engine: "str | None" = None) -> None:
+        self.trace_engine = trace_engine
+        #: (kernel, kernel_json, allocator) -> {producing engine -> timings}
+        self._pair: dict[
+            tuple[str, "str | None", str], dict["str | None", list[float]]
+        ] = {}
         self._kernel: dict[tuple[str, "str | None"], list[float]] = {}
         self._all: list[float] = []
 
-    def observe(self, query: DesignQuery, seconds: float) -> None:
-        """Record one measured evaluation time."""
+    def observe(
+        self,
+        query: DesignQuery,
+        seconds: float,
+        trace_engine: "str | None" = None,
+    ) -> None:
+        """Record one measured evaluation time.
+
+        ``trace_engine`` is the engine that *produced* the timing
+        (``None`` when unknown).
+        """
         if seconds is None or seconds < 0:
             return
         kernel_key = (query.kernel, query.kernel_json)
-        self._pair.setdefault(kernel_key + (query.allocator,), []).append(seconds)
+        by_engine = self._pair.setdefault(kernel_key + (query.allocator,), {})
+        by_engine.setdefault(trace_engine, []).append(seconds)
         self._kernel.setdefault(kernel_key, []).append(seconds)
         self._all.append(seconds)
 
@@ -121,10 +146,25 @@ class CostModel:
     def observations(self) -> int:
         return len(self._all)
 
+    def _pair_timings(
+        self, key: "tuple[str, str | None, str]"
+    ) -> "list[float] | None":
+        by_engine = self._pair.get(key)
+        if not by_engine:
+            return None
+        if self.trace_engine is not None:
+            same = by_engine.get(self.trace_engine)
+            if same:
+                return same
+        # Cross-engine fallback: any timing for this pair beats a
+        # kernel-level or static guess.
+        merged = [s for timings in by_engine.values() for s in timings]
+        return merged or None
+
     def estimate(self, query: DesignQuery) -> float:
         """Predicted evaluation seconds (relative units when unfitted)."""
         kernel_key = (query.kernel, query.kernel_json)
-        pair = self._pair.get(kernel_key + (query.allocator,))
+        pair = self._pair_timings(kernel_key + (query.allocator,))
         if pair:
             return sum(pair) / len(pair)
         weight = ALLOCATOR_WEIGHT.get(query.allocator, 1.0)
@@ -137,14 +177,20 @@ class CostModel:
         return static_cost(query)
 
     @staticmethod
-    def from_cache(cache: "ResultCache | None") -> "CostModel":
+    def from_cache(
+        cache: "ResultCache | None", trace_engine: "str | None" = None
+    ) -> "CostModel":
         """Fit a model from every readable timing in a result cache.
 
         Stale entries count too — a timing stays informative even after
         the code it measured changed — and unreadable files are simply
         skipped (the cache already warns about corruption on lookup).
+        Each timing is keyed by the ``trace_engine`` recorded in its
+        entry envelope (entries written before provenance was recorded
+        observe as engine-unknown); ``trace_engine`` sets the fitted
+        model's preferred engine.
         """
-        model = CostModel()
+        model = CostModel(trace_engine=trace_engine)
         if cache is None or not cache.root.is_dir():
             return model
         for path in sorted(cache.root.glob("*.json")):
@@ -154,8 +200,11 @@ class CostModel:
                 query = DesignQuery.from_key(doc["query"])
             except Exception:  # noqa: BLE001 — fitting is best-effort
                 continue
+            produced_by = doc.get("trace_engine")
+            if not isinstance(produced_by, str):
+                produced_by = None
             if isinstance(seconds, (int, float)):
-                model.observe(query, float(seconds))
+                model.observe(query, float(seconds), trace_engine=produced_by)
         return model
 
 

@@ -42,7 +42,7 @@ import numpy as np
 from repro.analysis.groups import RefGroup
 from repro.errors import AnalysisError
 from repro.ir.kernel import Kernel
-from repro.sim.residency import TRACE_ENGINES, opt_trace
+from repro.sim.residency import OptTraceLadder, TRACE_ENGINES, opt_trace
 
 __all__ = [
     "GroupCoverage",
@@ -143,6 +143,17 @@ class GroupCoverage:
     ranking — and ``"reference"`` the straightforward oracle code.  All
     four ``batch`` × ``engine`` combinations are bit-identical.
 
+    ``ladder=True`` (the default) turns on the budget-ladder fast path:
+    window results of *every* register count share one
+    :class:`~repro.sim.residency.OptTraceLadder` plane (the use links
+    and period-level classification are computed once per group instead
+    of once per budget), and :meth:`ram_access_ladder` answers a whole
+    budget axis of pinned coverage with one rank-histogram +
+    prefix-sum pass.  ``ladder=False`` keeps the per-budget evaluation
+    as the differential oracle (``repro explore --no-budget-ladder``).
+    All ``batch`` × ``engine`` × ``ladder`` combinations are
+    bit-identical, pinned by the fuzz suite.
+
     Results are memoized per ``(registers, anchor)`` *and* per the
     canonical key they reduce to (``covered`` for windows,
     ``(covered, anchor)`` for pinned coverage): the pipeline's
@@ -157,6 +168,7 @@ class GroupCoverage:
         group: RefGroup,
         batch: bool = True,
         engine: str = "array",
+        ladder: bool = True,
     ) -> None:
         if engine not in TRACE_ENGINES:
             raise AnalysisError(
@@ -167,10 +179,12 @@ class GroupCoverage:
         self.group = group
         self.batch = batch
         self.engine = engine
+        self.ladder = ladder
         self.beta = group.full_registers
         self._results: dict[tuple[int, str], CoverageResult] = {}
         self._canonical: dict[tuple, CoverageResult] = {}
         self._region_cache: "tuple[np.ndarray, np.ndarray] | None" = None
+        self._window_plane: "OptTraceLadder | None" = None
         self._shape = kernel.nest.trip_counts()
         best = min(
             group.profile.points, key=lambda p: (p.accesses, p.registers)
@@ -266,6 +280,89 @@ class GroupCoverage:
     def ram_accesses(self, registers: int) -> int:
         """Total RAM accesses (loop + epilogue) at ``registers``."""
         return self.result(registers).total_ram_accesses
+
+    def ram_access_ladder(
+        self,
+        registers_values: "tuple[int, ...] | list[int]",
+        anchor: str = "low",
+    ) -> "dict[int, int]":
+        """Total RAM accesses at *every* requested register count.
+
+        The budget-axis query behind ladder evaluation: pinned coverage
+        reduces to one rank histogram + prefix-sum pass over the shared
+        region ranks (an access at rank ``k`` is covered exactly by the
+        covered counts above ``k``), so the whole axis costs one pass
+        instead of one mask build per budget.  Window coverage answers
+        through :meth:`result`, whose traces already share the ladder
+        plane.  Bit-identical to per-count ``result(...).
+        total_ram_accesses`` (pinned by the fuzz suite); with
+        ``ladder=False`` every count simply goes through :meth:`result`.
+        """
+        if anchor not in ("low", "high"):
+            raise AnalysisError(f"anchor must be 'low' or 'high', got {anchor!r}")
+        values = [int(r) for r in registers_values]
+        for r in values:
+            if r < 0:
+                raise AnalysisError(f"negative register count {r}")
+        if self._kind != "pinned" or not self.ladder:
+            return {
+                r: self.result(r, anchor=anchor).total_ram_accesses
+                for r in values
+            }
+        return self._pinned_access_ladder(values, anchor)
+
+    def _pinned_access_ladder(
+        self, values: "list[int]", anchor: str
+    ) -> "dict[int, int]":
+        has_read = any(
+            not s.is_write and s.site_id not in self.group.forwarded
+            for s in self.group.sites
+        )
+        n_writes = len(self.group.writes)
+        ranks, first = self._region_ranks()
+        total = int(ranks.size)
+        region_elements = int(ranks.max()) + 1
+        level = self._carrying_level
+        assert level is not None
+        regions = int(np.prod(self._shape[: level - 1], dtype=np.int64))
+        flat_ranks = ranks.reshape(-1)
+        # hist_all[k] counts accesses at rank k; hist_reuse restricts to
+        # non-first touches (the ones a pinned register can serve).
+        hist_all = np.bincount(flat_ranks, minlength=region_elements)
+        hist_reuse = np.bincount(
+            flat_ranks[~first.reshape(-1)], minlength=region_elements
+        )
+        prefix_all = np.concatenate(([0], np.cumsum(hist_all, dtype=np.int64)))
+        prefix_reuse = np.concatenate(
+            ([0], np.cumsum(hist_reuse, dtype=np.int64))
+        )
+        out: "dict[int, int]" = {}
+        for r in values:
+            covered = self.covered(r)
+            if covered == 0 or not self.group.carries_reuse:
+                # The "none" canonical result: every read and every
+                # write goes to RAM, no write-backs.
+                out[r] = (total if has_read else 0) + (total if n_writes else 0)
+                continue
+            kept = min(covered, region_elements)
+            if anchor == "low":
+                cover_all = int(prefix_all[kept])
+                cover_reuse = int(prefix_reuse[kept])
+            else:
+                low = region_elements - kept
+                cover_all = int(prefix_all[region_elements] - prefix_all[low])
+                cover_reuse = int(
+                    prefix_reuse[region_elements] - prefix_reuse[low]
+                )
+            reads = (total - cover_reuse) if has_read else 0
+            if n_writes:
+                writes = total - cover_all
+                writebacks = regions * kept
+            else:
+                writes = 0
+                writebacks = 0
+            out[r] = reads + writes + writebacks
+        return out
 
     # -- pinned (invariant) coverage -------------------------------------------
 
@@ -379,31 +476,55 @@ class GroupCoverage:
 
     # -- window (LRU) coverage ---------------------------------------------------
 
-    def _window_result(
-        self, covered: int, has_read: bool, n_writes: int
-    ) -> CoverageResult:
-        started = time.perf_counter()
-        grids = self.kernel.nest.meshgrids()
-        flat = np.broadcast_to(
-            self.group.ref.flat_address_grid(grids), self._shape
-        )
-        stream = flat.reshape(-1)
+    def _window_periods(self) -> "tuple[int, ...] | None":
         # One row per outermost iteration: the granularity at which affine
         # window streams settle into a steady state the batched trace can
         # replay with a multiplier.  The array engine descends the whole
         # period ladder — the suffix products of the trip counts — so
         # tile-level steady states replay inside boundary rows too.
-        periods: "tuple[int, ...] | None" = None
-        if self.batch and len(self._shape) > 1:
-            periods = tuple(
-                int(np.prod(self._shape[level:], dtype=np.int64))
-                for level in range(1, len(self._shape))
-            )
-            if self.engine != "array":
-                periods = periods[:1]  # the reference engine memoizes rows
-        miss_flags, inserted, evicted, freed = opt_trace(
-            stream, covered, periods=periods, engine=self.engine
+        if not (self.batch and len(self._shape) > 1):
+            return None
+        periods = tuple(
+            int(np.prod(self._shape[level:], dtype=np.int64))
+            for level in range(1, len(self._shape))
         )
+        if self.engine != "array":
+            periods = periods[:1]  # the reference engine memoizes rows
+        return periods
+
+    def _window_stream(self) -> np.ndarray:
+        grids = self.kernel.nest.meshgrids()
+        flat = np.broadcast_to(
+            self.group.ref.flat_address_grid(grids), self._shape
+        )
+        return flat.reshape(-1)
+
+    def _window_result(
+        self, covered: int, has_read: bool, n_writes: int
+    ) -> CoverageResult:
+        started = time.perf_counter()
+        if self.ladder:
+            # Budget-ladder path: every covered count traces over one
+            # shared plane, so the use links and period-level
+            # classification are paid once per group, not once per
+            # budget.  A plane trace is bit-identical to a standalone
+            # opt_trace by construction.
+            plane = self._window_plane
+            if plane is None:
+                plane = OptTraceLadder(
+                    self._window_stream(),
+                    periods=self._window_periods(),
+                    engine=self.engine,
+                )
+                self._window_plane = plane
+            miss_flags, inserted, evicted, freed = plane.trace(covered)
+        else:
+            miss_flags, inserted, evicted, freed = opt_trace(
+                self._window_stream(),
+                covered,
+                periods=self._window_periods(),
+                engine=self.engine,
+            )
         _charge_trace(started)
         misses = miss_flags.reshape(self._shape)
         if has_read:
@@ -438,9 +559,12 @@ def coverage_for(
     groups: "tuple[RefGroup, ...]",
     batch: bool = True,
     engine: str = "array",
+    ladder: bool = True,
 ) -> dict[str, GroupCoverage]:
     """Coverage computers for every group, keyed by group name."""
     return {
-        g.name: GroupCoverage(kernel, g, batch=batch, engine=engine)
+        g.name: GroupCoverage(
+            kernel, g, batch=batch, engine=engine, ladder=ladder
+        )
         for g in groups
     }

@@ -7,17 +7,30 @@ from repro.sim.interp import (
     run_kernel,
     run_scalar_replaced,
 )
-from repro.sim.residency import lru_misses, miss_count, opt_misses, pinned_misses
+from repro.sim.residency import (
+    OptTraceLadder,
+    lru_miss_counts,
+    lru_misses,
+    miss_count,
+    opt_miss_ladder,
+    opt_misses,
+    opt_trace_ladder,
+    pinned_misses,
+)
 from repro.sim.scheduler import IterationSchedule, schedule_iteration
 
 __all__ = [
     "CycleReport",
     "IterationSchedule",
+    "OptTraceLadder",
     "ScalarReplacedRun",
     "count_cycles",
+    "lru_miss_counts",
     "lru_misses",
     "miss_count",
+    "opt_miss_ladder",
     "opt_misses",
+    "opt_trace_ladder",
     "pinned_misses",
     "random_inputs",
     "run_kernel",

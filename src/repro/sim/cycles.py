@@ -91,6 +91,7 @@ def count_cycles(
     coverages: "dict[str, GroupCoverage] | None" = None,
     context: "EvalContext | None" = None,
     trace_engine: str = "array",
+    ladder: bool = True,
 ) -> CycleReport:
     """Count execution cycles of ``kernel`` under ``allocation``.
 
@@ -102,6 +103,8 @@ def count_cycles(
     :class:`~repro.scalar.coverage.GroupCoverage`), ``trace_engine``
     the residency-simulator implementation behind them (``"array"`` —
     the vectorized default — or ``"reference"``, the oracle; also
+    bit-identical), ``ladder`` the budget-ladder fast path (window
+    traces of every budget share one capacity-independent plane; also
     bit-identical), and ``coverages`` optionally shares pre-built
     coverage computers across repeated counts of the same design point
     (the pipeline's anchor search).
@@ -123,28 +126,30 @@ def count_cycles(
     if context is not None:
         if coverages is None:
             coverages = context.coverages(
-                kernel, groups, batch=batch, trace_engine=trace_engine
+                kernel, groups, batch=batch, trace_engine=trace_engine,
+                ladder=ladder,
             )
-        # The full parameterization of this count.  ``batch`` and
-        # ``trace_engine`` are part of the key even though all paths are
-        # bit-identical by construction — excluding them would let a
-        # memoized batched/array report answer the reference
-        # differential oracle and mask a divergence the fuzz suite
-        # exists to catch.  The context additionally declines the memo
-        # when ``dfg``/``coverages`` are not its canonical artifacts for
-        # this kernel.
+        # The full parameterization of this count.  ``batch``,
+        # ``trace_engine`` and ``ladder`` are part of the key even
+        # though all paths are bit-identical by construction —
+        # excluding them would let a memoized batched/array/ladder
+        # report answer the reference differential oracle and mask a
+        # divergence the fuzz suite exists to catch.  The context
+        # additionally declines the memo when ``dfg``/``coverages`` are
+        # not its canonical artifacts for this kernel.
         memo_key = (
             context.model_fingerprint(model),
             ram_ports,
             overhead_per_iteration,
             batch,
             trace_engine,
+            ladder,
             tuple((g.name, allocation.registers_for(g.name)) for g in groups),
             tuple(sorted(anchors.items())),
         )
         memoized = context.get_cycle_report(
             kernel, groups, memo_key, dfg=dfg, coverages=coverages,
-            batch=batch, trace_engine=trace_engine,
+            batch=batch, trace_engine=trace_engine, ladder=ladder,
         )
         if memoized is not None:
             return memoized
@@ -160,7 +165,7 @@ def count_cycles(
             coverage = coverages[group.name]
         else:
             coverage = GroupCoverage(
-                kernel, group, batch=batch, engine=trace_engine
+                kernel, group, batch=batch, engine=trace_engine, ladder=ladder
             )
         result = coverage.result(
             allocation.registers_for(group.name),
@@ -239,7 +244,7 @@ def count_cycles(
     if memo_key is not None:
         context.put_cycle_report(
             kernel, groups, memo_key, report, dfg=dfg, coverages=coverages,
-            batch=batch, trace_engine=trace_engine,
+            batch=batch, trace_engine=trace_engine, ladder=ladder,
         )
     return report
 

@@ -27,6 +27,23 @@ Every simulator exists in two implementations selected by the
   :func:`pinned_misses` reduces to a first-touch mask over
   :func:`prev_uses` links.
 
+Three budget-ladder entry points evaluate **every capacity of a budget
+axis** against one stream without redoing per-stream work:
+
+* :func:`lru_stack_distances` / :func:`lru_miss_counts` — the classic
+  reuse-distance observation: one stack-distance pass determines the
+  LRU miss count of *all* capacities at once via a histogram +
+  suffix-sum reduction (an access at distance ``d`` misses exactly the
+  capacities below ``d``).
+* :class:`OptTraceLadder` / :func:`opt_trace_ladder` — a capacity-shared
+  plane for the production Belady-with-bypass trace: the use links and
+  the period-ladder row classification (:class:`_LadderLevel`) are pure
+  functions of the stream, so only the memoized signature walk runs per
+  capacity.  Bit-identical to per-capacity :func:`opt_trace` by
+  construction (:func:`opt_trace` *is* a one-capacity plane).
+* :func:`opt_miss_ladder` — the ablation's Belady bound across
+  capacities, sharing the next-use links.
+
 :func:`opt_trace` sits on the production cycle-counting path.  Its
 batched mode classifies fixed-length *rows* of the stream into
 steady-state and boundary classes: a row whose *normalized* signature —
@@ -58,9 +75,14 @@ from repro.errors import SimulationError
 
 __all__ = [
     "lru_misses",
+    "lru_stack_distances",
+    "lru_miss_counts",
     "pinned_misses",
     "opt_misses",
+    "opt_miss_ladder",
     "opt_trace",
+    "opt_trace_ladder",
+    "OptTraceLadder",
     "next_uses",
     "prev_uses",
     "miss_count",
@@ -168,19 +190,70 @@ def _lru_misses_array(addresses: np.ndarray, capacity: int) -> np.ndarray:
     misses = np.ones(n, dtype=bool)
     if capacity == 0 or n == 0:
         return misses
+    distances = lru_stack_distances(addresses)
+    repeat = distances != _NO_NEXT_USE
+    misses[repeat] = distances[repeat] > capacity
+    return misses
+
+
+def lru_stack_distances(stream: np.ndarray) -> np.ndarray:
+    """Per-access LRU stack distance; cold (first) touches carry a sentinel.
+
+    An access at stack distance ``d`` hits every LRU capacity ``>= d``
+    and misses every capacity below — the one array that answers the
+    *whole* budget axis (see :func:`lru_miss_counts`).  First touches,
+    which miss at any capacity, carry the ``_NO_NEXT_USE`` sentinel.
+    The computation is the vectorized count-smaller-to-the-left merge
+    documented on :func:`_lru_misses_array`.
+    """
+    addresses = np.asarray(stream).reshape(-1)
+    n = len(addresses)
+    distances = np.full(n, _NO_NEXT_USE, dtype=np.int64)
+    if n == 0:
+        return distances
     nxt, prv = _use_links(addresses)
     repeat = prv >= 0
     if not repeat.any():
-        return misses
+        return distances
     first = ~repeat
     distinct_before = np.concatenate(
         ([0], np.cumsum(first, dtype=np.int64)[:-1])
     )
     smaller_left = _count_smaller_left(nxt)
     prev_pos = prv[repeat]
-    distance = distinct_before[repeat] - prev_pos + smaller_left[prev_pos]
-    misses[repeat] = distance > capacity
-    return misses
+    distances[repeat] = distinct_before[repeat] - prev_pos + smaller_left[prev_pos]
+    return distances
+
+
+def lru_miss_counts(
+    stream: np.ndarray, capacities: "tuple[int, ...] | list[int]"
+) -> "dict[int, int]":
+    """Total LRU misses at every requested capacity from ONE trace pass.
+
+    The budget-ladder reduction: one stack-distance computation, one
+    histogram over the distances, one cumulative sum — then every
+    capacity's miss count is ``cold + (repeats at distance > c)``, a
+    single lookup.  Bit-identical to ``lru_misses(stream, c).sum()`` per
+    capacity (pinned by the fuzz suite) at O(n log n + #capacities)
+    instead of O(n log n × #capacities).
+    """
+    caps = [int(c) for c in capacities]
+    for c in caps:
+        if c < 0:
+            raise SimulationError(f"capacity must be >= 0, got {c}")
+    distances = lru_stack_distances(stream)
+    n = len(distances)
+    finite = distances[distances != _NO_NEXT_USE]
+    cold = n - len(finite)
+    if not len(finite):
+        return {c: n for c in caps}
+    histogram = np.bincount(finite)
+    at_most = np.cumsum(histogram, dtype=np.int64)
+    top = len(at_most) - 1
+    return {
+        c: cold + len(finite) - int(at_most[min(c, top)]) if c else n
+        for c in caps
+    }
 
 
 def _count_smaller_left(values: np.ndarray) -> np.ndarray:
@@ -288,11 +361,40 @@ def opt_misses(stream: np.ndarray, capacity: int) -> np.ndarray:
     if capacity < 0:
         raise SimulationError(f"capacity must be >= 0, got {capacity}")
     addresses = np.asarray(stream).reshape(-1)
+    return _opt_misses_with_links(addresses, next_uses(addresses), capacity)
+
+
+def opt_miss_ladder(
+    stream: np.ndarray, capacities: "tuple[int, ...] | list[int]"
+) -> "dict[int, int]":
+    """Belady miss totals at every requested capacity, links shared.
+
+    The victim choice is genuinely capacity-dependent (Belady has no
+    single stack-distance reduction with the bypass-free policy's heap
+    tie-breaking), so the per-access walk runs once per capacity — but
+    the dominant next-use link computation is hoisted out and shared
+    across the whole ladder.  Bit-identical to per-capacity
+    :func:`opt_misses` by construction.
+    """
+    caps = [int(c) for c in capacities]
+    for c in caps:
+        if c < 0:
+            raise SimulationError(f"capacity must be >= 0, got {c}")
+    addresses = np.asarray(stream).reshape(-1)
+    nxt = next_uses(addresses)
+    return {
+        c: int(_opt_misses_with_links(addresses, nxt, c).sum()) for c in caps
+    }
+
+
+def _opt_misses_with_links(
+    addresses: np.ndarray, nxt: np.ndarray, capacity: int
+) -> np.ndarray:
+    """The :func:`opt_misses` walk with the next-use links precomputed."""
     n = len(addresses)
     misses = np.ones(n, dtype=bool)
     if capacity == 0:
         return misses
-    nxt = next_uses(addresses)
     resident: dict[int, int] = {}  # address -> its next use position
     heap: list[tuple[int, int]] = []  # (-next use, address), lazy-deleted
     for position, (address, mine) in enumerate(
@@ -351,31 +453,96 @@ def opt_trace(
     the stream length) are dropped — a non-divisor ``row_len`` falls back
     to the plain simulation, as before.  The reference engine uses only
     the coarsest period.  Results are bit-identical across all of it.
+
+    A one-capacity call builds (and discards) a one-stream
+    :class:`OptTraceLadder`; callers evaluating a whole budget axis
+    should hold the plane themselves so the stream-level work is shared.
     """
-    if capacity < 0:
-        raise SimulationError(f"capacity must be >= 0, got {capacity}")
-    _check_engine(engine)
-    addresses = np.asarray(stream).reshape(-1)
-    n = len(addresses)
-    misses = np.ones(n, dtype=bool)
-    inserted = np.zeros(n, dtype=bool)
-    evicted = np.full(n, -1, dtype=np.int64)
-    freed = np.zeros(n, dtype=bool)
-    if capacity == 0 or n == 0:
-        return misses, inserted, evicted, freed
-    out = (misses, inserted, evicted, freed)
-    ladder = _period_ladder(n, row_len, periods)
-    resident: dict[int, int] = {}  # address -> next use position
-    if engine == "array":
-        nxt, prv = _use_links(addresses)
-        _ArrayTracer(addresses, nxt, prv, capacity, ladder).trace(resident, out)
+    return OptTraceLadder(
+        stream, row_len=row_len, periods=periods, engine=engine
+    ).trace(capacity)
+
+
+class OptTraceLadder:
+    """Capacity-shared evaluation plane for :func:`opt_trace`.
+
+    Everything about the trace that does *not* depend on the register
+    capacity — the flattened address stream, the use links (the
+    dominant cost), and the array engine's per-period row
+    classification (:class:`_LadderLevel`: bases, shift-normalized
+    patterns, adjacent-row equality, base deltas) — is computed lazily
+    once and shared by every :meth:`trace` call.  Only the per-capacity
+    signature-memoized walk runs per budget, so a full budget column
+    costs one stream analysis plus one (cheap, heavily replayed) walk
+    per capacity.  Each :meth:`trace` starts from a cold register file
+    and fresh output arrays, so a plane trace is bit-identical to a
+    standalone :func:`opt_trace` call by construction.
+    """
+
+    def __init__(
+        self,
+        stream: np.ndarray,
+        row_len: "int | None" = None,
+        periods: "tuple[int, ...] | None" = None,
+        engine: str = "array",
+    ) -> None:
+        _check_engine(engine)
+        self.engine = engine
+        self.addresses = np.asarray(stream).reshape(-1)
+        self.n = len(self.addresses)
+        self.ladder = _period_ladder(self.n, row_len, periods)
+        self._links: "tuple[np.ndarray, np.ndarray] | None" = None
+        # Shared capacity-independent level structures, built lazily by
+        # the first _ArrayTracer that needs each depth.
+        self._levels: "list[_LadderLevel | None]" = [None] * len(self.ladder)
+
+    def _use_links(self) -> "tuple[np.ndarray, np.ndarray]":
+        if self._links is None:
+            self._links = _use_links(self.addresses)
+        return self._links
+
+    def trace(
+        self, capacity: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The :func:`opt_trace` result at ``capacity``, plane-shared."""
+        if capacity < 0:
+            raise SimulationError(f"capacity must be >= 0, got {capacity}")
+        n = self.n
+        misses = np.ones(n, dtype=bool)
+        inserted = np.zeros(n, dtype=bool)
+        evicted = np.full(n, -1, dtype=np.int64)
+        freed = np.zeros(n, dtype=bool)
+        if capacity == 0 or n == 0:
+            return misses, inserted, evicted, freed
+        out = (misses, inserted, evicted, freed)
+        resident: dict[int, int] = {}  # address -> next use position
+        if self.engine == "array":
+            nxt, prv = self._use_links()
+            _ArrayTracer(
+                self.addresses, nxt, prv, capacity, self.ladder,
+                levels=self._levels,
+            ).trace(resident, out)
+            return out
+        nxt = self._use_links()[0]
+        if self.ladder:
+            _trace_rows(
+                self.addresses, nxt, capacity, self.ladder[0], resident, out
+            )
+        else:
+            _trace_span(self.addresses, nxt, capacity, 0, n, resident, out)
         return out
-    nxt = next_uses(addresses)
-    if ladder:
-        _trace_rows(addresses, nxt, capacity, ladder[0], resident, out)
-    else:
-        _trace_span(addresses, nxt, capacity, 0, n, resident, out)
-    return out
+
+
+def opt_trace_ladder(
+    stream: np.ndarray,
+    capacities: "tuple[int, ...] | list[int]",
+    row_len: "int | None" = None,
+    periods: "tuple[int, ...] | None" = None,
+    engine: str = "array",
+) -> "dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]":
+    """:func:`opt_trace` at every requested capacity over one shared plane."""
+    plane = OptTraceLadder(stream, row_len=row_len, periods=periods, engine=engine)
+    return {int(c): plane.trace(int(c)) for c in capacities}
 
 
 def _period_ladder(
@@ -571,10 +738,15 @@ class _LadderLevel:
     stamping) and base deltas.  Row signatures reuse the reference
     engine's exact normalization, so the memo equivalence classes — and
     therefore the outputs — are identical by construction.
+
+    Deliberately capacity-independent: replay memos (which record
+    capacity-dependent decisions) live on :class:`_ArrayTracer`, so one
+    level can be shared across a whole budget ladder of traces
+    (:class:`OptTraceLadder`).
     """
 
     __slots__ = (
-        "period", "rows", "bases", "pattern", "same", "base_delta", "memo",
+        "period", "rows", "bases", "pattern", "same", "base_delta",
     )
 
     def __init__(self, addresses: np.ndarray, nxt: np.ndarray, period: int):
@@ -599,7 +771,6 @@ class _LadderLevel:
             else np.zeros(0, dtype=bool)
         )
         self.base_delta = np.diff(self.bases)
-        self.memo: dict[tuple, tuple] = {}
 
     def row_key(self, row: int) -> bytes:
         return self.pattern[row].tobytes()
@@ -643,13 +814,19 @@ class _ArrayTracer:
         prv: np.ndarray,
         capacity: int,
         ladder: tuple[int, ...],
+        levels: "list[_LadderLevel | None] | None" = None,
     ):
         self.addresses = addresses
         self.nxt = nxt
         self.prev = prv
         self.capacity = capacity
         self.ladder = ladder
-        self._levels: "list[_LadderLevel | None]" = [None] * len(ladder)
+        # Level structures are capacity-independent; an OptTraceLadder
+        # passes its own (lazily filled) list so every capacity of a
+        # budget column shares them.  The replay memos are NOT shared —
+        # Belady's decisions depend on the capacity.
+        self._levels = levels if levels is not None else [None] * len(ladder)
+        self._memos: "list[dict[tuple, tuple]]" = [{} for _ in ladder]
 
     def _level(self, depth: int) -> _LadderLevel:
         level = self._levels[depth]
@@ -709,6 +886,7 @@ class _ArrayTracer:
             self._span(start, stop, resident, out)
             return
         level = self._level(depth)
+        memo = self._memos[depth]
         period = level.period
         misses, inserted, evicted, freed = out
         first_row = start // period
@@ -729,7 +907,7 @@ class _ArrayTracer:
                     (a + shift_a, u + shift_u) for a, u in state_rel
                 )
             signature = (normalized, level.row_key(row))
-            replay = level.memo.get(signature)
+            replay = memo.get(signature)
             if replay is None:
                 if state_rel is not None:
                     resident.clear()
@@ -744,7 +922,7 @@ class _ArrayTracer:
                     evicted[row_start:row_stop] - base,
                     _NO_EVICTION,
                 )
-                level.memo[signature] = (
+                memo[signature] = (
                     misses[row_start:row_stop].copy(),
                     inserted[row_start:row_stop].copy(),
                     eviction_rel,

@@ -28,7 +28,12 @@ from repro.synth.timing import estimate_clock
 if TYPE_CHECKING:  # pragma: no cover
     from repro.explore.context import EvalContext
 
-__all__ = ["build_design", "charge_stage", "classify_operand_storage"]
+__all__ = [
+    "build_design",
+    "charge_stage",
+    "classify_operand_storage",
+    "fold_trace_stage",
+]
 
 
 def charge_stage(
@@ -46,6 +51,41 @@ def charge_stage(
     if stages is not None:
         stages[name] = stages.get(name, 0.0) + (now - since)
     return now
+
+
+def fold_trace_stage(
+    stages: "dict[str, float] | None", trace_before: float
+) -> None:
+    """Split trace-engine seconds since ``trace_before`` into ``"trace"``.
+
+    The trace clock (:func:`~repro.scalar.coverage.trace_engine_seconds`)
+    ticks *inside* wall intervals other stages already charged — window
+    Belady traces run under the ``cycles`` charge, region ranking can
+    run under ``alloc`` when an allocator queries coverage.  This fold
+    moves that share into a distinct ``trace`` stage, deducting from
+    the stages that absorbed it (``cycles`` first, where residency
+    simulation normally lands) and clamping at zero so a partially
+    charged breakdown — e.g. after an exception mid-stage — can never
+    go negative.  It runs in the evaluator's ``finally`` so failed and
+    crashed records keep their trace attribution too, and it runs in
+    the *worker* process, which is what makes ``--profile`` totals
+    invariant under ``--jobs``.
+    """
+    if stages is None:
+        return
+    spent = trace_engine_seconds() - trace_before
+    if spent <= 0.0:
+        return
+    stages["trace"] = stages.get("trace", 0.0) + spent
+    for name in ("cycles", "alloc", "dfg_schedule", "kernel", "other"):
+        if spent <= 0.0:
+            break
+        have = stages.get(name)
+        if not have or have <= 0.0:
+            continue
+        take = min(have, spent)
+        stages[name] = have - take
+        spent -= take
 
 
 def classify_operand_storage(
@@ -80,6 +120,7 @@ def build_design(
     context: "EvalContext | None" = None,
     stages: "dict[str, float] | None" = None,
     trace_engine: str = "array",
+    ladder: bool = True,
 ) -> HardwareDesign:
     """Evaluate one (kernel, allocation) design point.
 
@@ -100,10 +141,14 @@ def build_design(
     caller does not; all three leave results bit-identical.
     ``trace_engine`` selects the residency-simulator implementation
     (``"array"``, the vectorized default, or ``"reference"``, the
-    oracle; bit-identical either way).  ``stages`` optionally
-    accumulates the ``--profile`` wall-time breakdown — the residency
-    share of the cycle count is split out into a distinct ``trace``
-    stage so the trace engine's cost is visible.
+    oracle; bit-identical either way), and ``ladder`` the budget-ladder
+    fast path (window traces of every register budget share one
+    capacity-independent plane; also bit-identical — ``ladder=False``
+    is the ``--no-budget-ladder`` oracle).  ``stages`` optionally
+    accumulates the ``--profile`` wall-time breakdown; the evaluator
+    (:func:`repro.explore.evaluate.design_for`) splits the residency
+    share out into a distinct ``trace`` stage via
+    :func:`fold_trace_stage`.
     """
     started = time.perf_counter()
     groups = groups if groups is not None else build_groups(kernel)
@@ -119,12 +164,13 @@ def build_design(
     if coverages is None:
         if context is not None:
             coverages = context.coverages(
-                kernel, groups, batch=batch, trace_engine=trace_engine
+                kernel, groups, batch=batch, trace_engine=trace_engine,
+                ladder=ladder,
             )
         else:
             coverages = {
                 g.name: GroupCoverage(
-                    kernel, g, batch=batch, engine=trace_engine
+                    kernel, g, batch=batch, engine=trace_engine, ladder=ladder
                 )
                 for g in groups
             }
@@ -138,7 +184,6 @@ def build_design(
     mixed_ops = _count_mixed_operand_ops(dfg, storage_class)
     mark = charge_stage(stages, "dfg_schedule", started)
 
-    trace_before = trace_engine_seconds()
     cycles = _count_with_best_anchors(
         kernel,
         groups,
@@ -152,16 +197,9 @@ def build_design(
         batch,
         context,
         trace_engine,
+        ladder,
     )
     mark = charge_stage(stages, "cycles", mark)
-    if stages is not None:
-        # Split the residency-simulation share of the cycle count into
-        # its own stage: the trace clock ticks inside the same wall
-        # interval the "cycles" charge just covered.
-        trace_spent = trace_engine_seconds() - trace_before
-        if trace_spent > 0.0:
-            stages["cycles"] = stages.get("cycles", 0.0) - trace_spent
-            stages["trace"] = stages.get("trace", 0.0) + trace_spent
 
     timing = estimate_clock(
         dfg,
@@ -204,6 +242,7 @@ def _count_with_best_anchors(
     batch=True,
     context=None,
     trace_engine="array",
+    ladder=True,
 ):
     """Coverage-placement pass: choose pinned anchors minimizing cycles.
 
@@ -241,6 +280,7 @@ def _count_with_best_anchors(
             coverages=coverages,
             context=context,
             trace_engine=trace_engine,
+            ladder=ladder,
         )
         if best is None or report.total_cycles < best.total_cycles:
             best = report

@@ -33,7 +33,10 @@ from repro.dfg.latency import LatencyModel
 from repro.scalar.coverage import GroupCoverage
 from repro.sim.cycles import count_cycles
 from repro.sim.residency import (
+    OptTraceLadder,
+    lru_miss_counts,
     lru_misses,
+    opt_miss_ladder,
     opt_misses,
     opt_trace,
     pinned_misses,
@@ -280,6 +283,48 @@ def test_fuzz_tiled_streams_ladder_bit_identical():
             got = opt_trace(stream, capacity, engine="array", **kwargs)
             _assert_traces_equal(
                 reference, got, f"tiled seed {seed} ({kwargs})"
+            )
+
+
+def test_fuzz_budget_ladder_miss_counts_bit_identical():
+    """The whole-axis ladders == per-capacity calls on random streams.
+
+    ``lru_miss_counts`` (one histogram + suffix sum) and
+    ``opt_miss_ladder`` (shared lazy-deletion-heap plane) must agree
+    with the per-capacity APIs at every rung, including capacity 0 and
+    capacities past the footprint.
+    """
+    for seed in SEEDS:
+        addresses, capacity, _ = random_stream(seed)
+        stream = np.asarray(addresses, dtype=np.int64)
+        footprint = len(set(addresses))
+        rungs = sorted({0, 1, 2, capacity, footprint, footprint + 7})
+        lru_ladder = lru_miss_counts(stream, rungs)
+        opt_ladder = opt_miss_ladder(stream, rungs)
+        for rung in rungs:
+            assert lru_ladder[rung] == int(lru_misses(stream, rung).sum()), (
+                f"lru ladder seed {seed} capacity {rung}"
+            )
+            assert opt_ladder[rung] == int(opt_misses(stream, rung).sum()), (
+                f"opt ladder seed {seed} capacity {rung}"
+            )
+
+
+def test_fuzz_trace_plane_shared_across_capacities():
+    """One ``OptTraceLadder`` plane, many capacities == fresh traces.
+
+    Tiled streams exercise the period memo; interleaving small and
+    large capacities on the same plane checks that nothing capacity-
+    dependent leaks into the shared links or levels.
+    """
+    for seed in range(60):
+        addresses, capacity, periods = random_tiled_stream(seed)
+        stream = np.asarray(addresses, dtype=np.int64)
+        plane = OptTraceLadder(stream, periods=periods)
+        for rung in (capacity, 0, capacity + 5, 1, capacity):
+            fresh = opt_trace(stream, rung, periods=periods)
+            _assert_traces_equal(
+                fresh, plane.trace(rung), f"plane seed {seed} cap {rung}"
             )
 
 

@@ -9,6 +9,7 @@ ladder actually replays tiles when outer rows never repeat; and the
 """
 
 import json
+import math
 
 import numpy as np
 import pytest
@@ -188,9 +189,13 @@ def test_compare_includes_trace_block_when_both_have_it():
     rows, regressions = compare_reports(old, new, threshold=1.5)
     assert [r.metric for r in rows] == ["trace_single.fir.speedup"]
     assert [r.metric for r in regressions] == ["trace_single.fir.speedup"]
-    # Absent in one document -> simply not compared (BENCH_4 has none).
+    # Present only in the NEW document (harness growth, e.g. BENCH_4
+    # has no trace block) -> a non-gating information row, never a
+    # regression.
     rows, regressions = compare_reports(_doc(GRID_A, {}, {}), new)
-    assert rows == [] and regressions == []
+    assert regressions == []
+    assert [r.metric for r in rows] == ["trace_single.fir.speedup"]
+    assert not rows[0].gates and math.isnan(rows[0].old)
 
 
 def test_cli_perf_compare_exit_codes(tmp_path, capsys):
