@@ -31,6 +31,10 @@ __all__ = [
     "budget_sweep",
     "latency_sweep",
     "policy_comparison",
+    "OptGapPoint",
+    "opt_gap_study",
+    "gap_rows",
+    "opt_gap_csv",
     "ResidencyPoint",
     "residency_study",
 ]
@@ -188,6 +192,148 @@ def policy_comparison(
         saved = (naive_accesses - accesses) if naive_accesses is not None else 0
         out[algorithm] = (saved, record.cycles)
     return out
+
+
+@dataclass(frozen=True)
+class OptGapPoint:
+    """One allocator's distance from the certified optimum (study A5).
+
+    ``opt_certified`` is False when OPT-RA's node/time box truncated the
+    search; then ``opt_cycles`` is its best anytime incumbent and
+    ``opt_lower_bound`` the proven floor, so the heuristic's true gap
+    lies in ``[cycles - opt_cycles, cycles - opt_lower_bound]``.
+    """
+
+    kernel: str
+    budget: int
+    allocator: str
+    cycles: int
+    total_registers: int
+    opt_cycles: int
+    opt_certified: bool
+    opt_lower_bound: int
+
+    @property
+    def gap_cycles(self) -> int:
+        """Extra cycles over OPT-RA's (possibly anytime) result."""
+        return self.cycles - self.opt_cycles
+
+    @property
+    def gap_pct(self) -> float:
+        """The same gap relative to the optimum, in percent."""
+        if self.opt_cycles == 0:
+            return 0.0
+        return 100.0 * self.gap_cycles / self.opt_cycles
+
+
+def gap_rows(records: "list[DesignRecord]") -> list[OptGapPoint]:
+    """Pair each record with its grid point's OPT-RA record.
+
+    Groups records by everything but the allocator, so one mixed sweep
+    (the CLI's ``--allocators ... OPT-RA ...``) yields one gap row per
+    (kernel, budget, allocator) cell.  Failed records are skipped —
+    a budget below a kernel's mandatory floor is infeasible for every
+    allocator including OPT-RA, so no cell loses its yardstick — and a
+    cell without an OPT-RA record contributes nothing.
+    """
+    by_cell: "dict[DesignQuery, list[DesignRecord]]" = {}
+    for record in records:
+        if not record.ok:
+            continue
+        by_cell.setdefault(
+            replace(record.query, allocator="OPT-RA"), []
+        ).append(record)
+    points: list[OptGapPoint] = []
+    for cell, members in by_cell.items():
+        opt = next(
+            (r for r in members if r.query.allocator == "OPT-RA"), None
+        )
+        if opt is None:
+            continue
+        for record in members:
+            points.append(
+                OptGapPoint(
+                    kernel=record.query.kernel,
+                    budget=record.query.budget,
+                    allocator=record.query.allocator,
+                    cycles=record.cycles,
+                    total_registers=record.total_registers,
+                    opt_cycles=opt.cycles,
+                    opt_certified=opt.certified is not False,
+                    opt_lower_bound=(
+                        opt.opt_lower_bound
+                        if opt.opt_lower_bound is not None
+                        else opt.cycles
+                    ),
+                )
+            )
+    points.sort(key=lambda p: (p.kernel, p.budget, p.allocator))
+    return points
+
+
+def opt_gap_csv(points: "list[OptGapPoint]") -> str:
+    """Render gap points as the committed/CI gap-report CSV."""
+    lines = [
+        "kernel,budget,allocator,cycles,total_registers,"
+        "opt_cycles,opt_certified,opt_lower_bound,gap_cycles,gap_pct"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.kernel},{p.budget},{p.allocator},{p.cycles},"
+            f"{p.total_registers},{p.opt_cycles},"
+            f"{str(p.opt_certified).lower()},{p.opt_lower_bound},"
+            f"{p.gap_cycles},{p.gap_pct:.4f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def opt_gap_study(
+    kernels: "list[Kernel]",
+    budgets: "list[int]",
+    algorithms: tuple[str, ...] = (
+        "FR-RA", "PR-RA", "CPA-RA", "KS-RA", "NO-SR", "OPT-RA",
+    ),
+    model: LatencyModel | None = None,
+    jobs: int = 1,
+    cache: "ResultCache | Path | str | None" = None,
+    batch: bool = True,
+    chunksize: "int | None" = None,
+    context: bool = True,
+) -> list[OptGapPoint]:
+    """Optimality gap of every heuristic across the budget axis (A5).
+
+    Evaluates the full (kernel x budget x allocator) grid — OPT-RA is
+    added to ``algorithms`` if missing, it is the yardstick — and pairs
+    each cell with the certified optimum via :func:`gap_rows`.
+    Infeasible budgets (below a kernel's mandatory-register floor) are
+    skipped rather than raised: the study reports the feasible frontier.
+    Crashes still re-raise loudly.
+    """
+    if not kernels or not budgets:
+        return []
+    if "OPT-RA" not in algorithms:
+        algorithms = tuple(algorithms) + ("OPT-RA",)
+    queries: list[DesignQuery] = []
+    for kernel in kernels:
+        proto = DesignQuery.from_kernel(
+            kernel,
+            allocator=algorithms[0],
+            budget=budgets[0],
+            latency=LatencySpec.from_model(model),
+        )
+        queries.extend(
+            replace(proto, allocator=algorithm, budget=budget)
+            for budget in budgets
+            for algorithm in algorithms
+        )
+    results = Executor(
+        jobs=jobs, cache=cache, batch=batch, chunksize=chunksize,
+        context=context,
+    ).run(queries)
+    for record in results:
+        if record.crash:
+            record.raise_error()
+    return gap_rows(list(results))
 
 
 @dataclass(frozen=True)

@@ -146,6 +146,22 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         ladder=not args.no_budget_ladder,
     )
     results = executor.run(space)
+    if args.gap_report is not None:
+        from repro.bench.sweeps import gap_rows, opt_gap_csv
+        from repro.errors import ReproError
+
+        if "OPT-RA" not in args.allocators:
+            raise ReproError(
+                "--gap-report needs OPT-RA in --allocators: the gap is "
+                "measured against its certified optimum"
+            )
+        report = opt_gap_csv(gap_rows(list(results)))
+        if args.gap_report == "-":
+            sys.stdout.write(report)
+        else:
+            with open(args.gap_report, "w") as handle:
+                handle.write(report)
+            print(f"explore: gap report -> {args.gap_report}", file=sys.stderr)
     if args.format == "json":
         print(results.to_json())
     elif args.format == "csv":
@@ -354,6 +370,12 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     p_explore.add_argument("--format", default="table",
                            choices=("table", "json", "csv"))
+    p_explore.add_argument(
+        "--gap-report", default=None, metavar="PATH",
+        help="also write a per-(kernel, budget, allocator) optimality-gap "
+        "CSV against OPT-RA's certified optimum ('-' for stdout); "
+        "requires OPT-RA in --allocators",
+    )
     p_explore.set_defaults(func=_cmd_explore)
 
     p_perf = sub.add_parser(

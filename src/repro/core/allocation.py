@@ -34,6 +34,18 @@ class Allocation:
         ``{group name: full-replacement requirement}`` for convenience.
     trace:
         Human-readable decision log, one line per allocator step.
+    certified:
+        Whether the allocation is the exact output of its policy.  Every
+        heuristic always certifies; the exact allocator (OPT-RA) sets
+        this False when its node/time box truncated the search, in which
+        case the result is the best *anytime* incumbent rather than a
+        proven optimum.  Truncated allocations are never memoized or
+        written to the result cache as exact.
+    lower_bound:
+        For OPT-RA: a certified lower bound on the optimal cycle count.
+        Equals the achieved cycles when ``certified``; below them it
+        brackets the optimum of a truncated search.  ``None`` for
+        heuristic allocators (they prove no bound).
     """
 
     kernel_name: str
@@ -42,6 +54,8 @@ class Allocation:
     registers: dict[str, int]
     betas: dict[str, int]
     trace: tuple[str, ...] = field(default_factory=tuple)
+    certified: bool = True
+    lower_bound: "int | None" = None
 
     def __post_init__(self) -> None:
         for name, count in self.registers.items():

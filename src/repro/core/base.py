@@ -53,6 +53,12 @@ class AllocationState:
             f"baseline: 1 register to each of {len(groups)} references "
             f"({self.remaining} of {budget} left)"
         ]
+        #: Exactness provenance (see :class:`~repro.core.allocation.
+        #: Allocation`): heuristics leave the defaults; the exact
+        #: allocator downgrades ``certified`` when its time box
+        #: truncated the search and records the proven cycle bound.
+        self.certified: bool = True
+        self.lower_bound: "int | None" = None
 
     def group(self, name: str) -> RefGroup:
         for candidate in self.groups:
@@ -90,6 +96,8 @@ class AllocationState:
             registers=dict(self.assigned),
             betas={g.name: g.full_registers for g in self.groups},
             trace=tuple(self.trace),
+            certified=self.certified,
+            lower_bound=self.lower_bound,
         )
 
 

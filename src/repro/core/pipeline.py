@@ -14,6 +14,7 @@ from repro.core.cpara import CriticalPathAwareAllocator
 from repro.core.frra import FullReuseAllocator
 from repro.core.knapsack import KnapsackAllocator
 from repro.core.naive import NaiveAllocator
+from repro.core.optra import OptimalAllocator
 from repro.core.prra import PartialReuseAllocator
 from repro.dfg.latency import LatencyModel
 from repro.errors import ReproError
@@ -33,6 +34,7 @@ _ALLOCATORS: dict[str, type[Allocator]] = {
     "CPA-RA": CriticalPathAwareAllocator,
     "KS-RA": KnapsackAllocator,
     "NO-SR": NaiveAllocator,
+    "OPT-RA": OptimalAllocator,
 }
 
 

@@ -39,6 +39,7 @@ import os
 import warnings
 from pathlib import Path
 
+from repro.errors import ReproError
 from repro.explore.query import DesignQuery, DesignRecord
 from repro.explore.versions import VersionRegistry, default_registry, query_vector
 
@@ -162,6 +163,12 @@ class ResultCache:
         they are envelope provenance, not identity — no format bump, and
         lookups ignore them.
         """
+        if record.truncated:
+            raise ReproError(
+                f"refusing to cache truncated {record.query.allocator} "
+                f"record for {record.query.kernel}: an anytime incumbent "
+                f"under a node/time box is not the point's exact answer"
+            )
         path = self.path_for(record.query)
         path.parent.mkdir(parents=True, exist_ok=True)
         doc = {

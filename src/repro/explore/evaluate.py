@@ -114,6 +114,18 @@ def design_for(
         device = query.build_device()
         mark = charge_stage(stages, "kernel", started)
         allocator = allocator_by_name(query.allocator)
+        tune = getattr(allocator, "tune", None)
+        if tune is not None:
+            # Objective-aware allocators (OPT-RA) optimize exactly what
+            # build_design below will report for this query.
+            tune(
+                model=query.latency.to_model(),
+                ram_ports=query.ram_ports or device.bram_ports,
+                overhead_per_iteration=query.overhead,
+                batch=batch,
+                trace_engine=trace_engine,
+                ladder=ladder,
+            )
         allocation = allocator.allocate(
             kernel, query.budget, groups, context=ctx
         )

@@ -283,7 +283,12 @@ class Executor:
             records[index] = record
             # Crash records are never cached: the failure may be
             # transient (OOM, a since-fixed bug), so resumes retry them.
-            if self.cache is not None and not record.crash:
+            # Truncated exact-search records are not cached either — an
+            # anytime incumbent under a node/time box is not the point's
+            # exact answer, and a resume with a bigger box must re-run.
+            if self.cache is not None and not record.crash and (
+                not record.truncated
+            ):
                 self.cache.put(
                     record, trace_engine=self.trace_engine, batch=self.batch
                 )

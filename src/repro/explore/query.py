@@ -358,10 +358,22 @@ class DesignRecord:
     betas: dict[str, int] = field(default_factory=dict)
     registers: dict[str, int] = field(default_factory=dict)
     distribution: str = ""
+    #: Exactness provenance (see :class:`~repro.core.allocation.
+    #: Allocation`): ``None`` for heuristic allocators, ``True`` for a
+    #: certified OPT-RA optimum, ``False`` when its node/time box
+    #: truncated the search (then ``opt_lower_bound < cycles`` brackets
+    #: the true optimum).  Truncated records are never cached.
+    certified: "bool | None" = None
+    opt_lower_bound: "int | None" = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def truncated(self) -> bool:
+        """True when an exact-search allocator ran out of its box."""
+        return self.certified is False
 
     @property
     def crash(self) -> bool:
@@ -388,6 +400,11 @@ class DesignRecord:
             betas=dict(allocation.betas),
             registers=dict(allocation.registers),
             distribution=allocation.distribution(),
+            certified=(
+                None if allocation.lower_bound is None
+                else allocation.certified
+            ),
+            opt_lower_bound=allocation.lower_bound,
         )
 
     @staticmethod
@@ -466,6 +483,11 @@ class DesignRecord:
         doc["betas"] = dict(self.betas)
         doc["registers"] = dict(self.registers)
         doc["distribution"] = self.distribution
+        if self.certified is not None:
+            # Exact-search provenance; heuristic records omit the keys
+            # so their serialized form is unchanged.
+            doc["certified"] = self.certified
+            doc["opt_lower_bound"] = self.opt_lower_bound
         return doc
 
     def key_dict(self) -> dict[str, Any]:
@@ -486,5 +508,7 @@ class DesignRecord:
             betas={k: int(v) for k, v in doc.get("betas", {}).items()},
             registers={k: int(v) for k, v in doc.get("registers", {}).items()},
             distribution=doc.get("distribution", ""),
+            certified=doc.get("certified"),
+            opt_lower_bound=doc.get("opt_lower_bound"),
             **{name: doc.get(name) for name in METRIC_FIELDS},
         )

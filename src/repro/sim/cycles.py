@@ -22,7 +22,7 @@ Total cycles also include:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -40,7 +40,12 @@ from repro.sim.scheduler import schedule_iteration
 if TYPE_CHECKING:  # pragma: no cover
     from repro.explore.context import EvalContext
 
-__all__ = ["CycleReport", "count_cycles"]
+__all__ = [
+    "CycleReport",
+    "count_cycles",
+    "classify_patterns",
+    "has_active_read",
+]
 
 
 @dataclass(frozen=True)
@@ -175,16 +180,67 @@ def count_cycles(
         writebacks += result.writeback_stores
         if result.read_miss.any():
             channels.append((group.name, "read", result.read_miss))
-        elif _has_active_read(group):
+        elif has_active_read(group):
             channels.append((group.name, "read", result.read_miss))
         if group.writes:
             channels.append((group.name, "write", result.write_miss))
+
+    if context is not None:
+        def scheduler(hit: "dict[str, bool]") -> "tuple[int, int]":
+            return context.schedule(kernel, dfg, model, hit, ram_ports)
+    else:
+        def scheduler(hit: "dict[str, bool]") -> "tuple[int, int]":
+            schedule = schedule_iteration(dfg, model, hit, ram_ports)
+            return schedule.makespan, schedule.memory_cycles
+
+    in_loop, memory_cycles, pattern_rows = classify_patterns(
+        shape, channels, dfg, overhead_per_iteration, scheduler,
+        label=f"kernel {kernel.name}",
+    )
+
+    epilogue = writebacks * model.ram_latency
+    report = CycleReport(
+        in_loop_cycles=in_loop,
+        epilogue_cycles=epilogue,
+        memory_cycles=memory_cycles + epilogue,
+        ram_accesses=ram_accesses,
+        pattern_counts=tuple(pattern_rows),
+    )
+    if memo_key is not None:
+        context.put_cycle_report(
+            kernel, groups, memo_key, report, dfg=dfg, coverages=coverages,
+            batch=batch, trace_engine=trace_engine, ladder=ladder,
+        )
+    return report
+
+
+def classify_patterns(
+    shape: "tuple[int, ...]",
+    channels: "list[tuple[str, str, np.ndarray]]",
+    dfg: DataFlowGraph,
+    overhead_per_iteration: int,
+    scheduler: "Callable[[dict[str, bool]], tuple[int, int]]",
+    label: str = "kernel",
+) -> "tuple[int, int, list[tuple[tuple[str, ...], int, int]]]":
+    """The pattern-classification core shared by every cycle counter.
+
+    ``channels`` is one ``(group, kind, miss grid)`` triple per access
+    channel that can miss; iterations with identical per-channel miss
+    bits form one pattern, scheduled once through ``scheduler`` — a
+    callable mapping the node hit/miss map to ``(makespan,
+    memory_cycles)``, so callers plug in their own memoization
+    (:meth:`~repro.explore.context.EvalContext.schedule`, or the
+    oracle's per-search memo).  Returns ``(in_loop_cycles,
+    memory_cycles, pattern_rows)`` exactly as :func:`count_cycles`
+    reports them; OPT-RA's admissible relaxation bounds reuse this so
+    the bound arithmetic cannot drift from the real counter's.
+    """
     if len(channels) > 20:
         raise SimulationError(
-            f"kernel {kernel.name}: {len(channels)} access channels exceed "
+            f"{label}: {len(channels)} access channels exceed "
             f"the pattern classifier's limit"
         )
-
+    space = int(np.prod(shape))
     pattern = np.zeros(shape, dtype=np.int64)
     for bit, (_, _, miss) in enumerate(channels):
         pattern |= miss.astype(np.int64) << bit
@@ -213,13 +269,7 @@ def count_cycles(
             uid: not bool((value >> bit) & 1)
             for uid, bit in node_channel.items()
         }
-        if context is not None:
-            makespan, pattern_memory = context.schedule(
-                kernel, dfg, model, hit, ram_ports
-            )
-        else:
-            schedule = schedule_iteration(dfg, model, hit, ram_ports)
-            makespan, pattern_memory = schedule.makespan, schedule.memory_cycles
+        makespan, pattern_memory = scheduler(hit)
         cost = makespan + overhead_per_iteration
         in_loop += cost * count
         memory_cycles += pattern_memory * count
@@ -232,24 +282,11 @@ def count_cycles(
 
     if sum(count for _, count, _ in pattern_rows) != space:
         raise SimulationError("pattern classification lost iterations")
-
-    epilogue = writebacks * model.ram_latency
-    report = CycleReport(
-        in_loop_cycles=in_loop,
-        epilogue_cycles=epilogue,
-        memory_cycles=memory_cycles + epilogue,
-        ram_accesses=ram_accesses,
-        pattern_counts=tuple(pattern_rows),
-    )
-    if memo_key is not None:
-        context.put_cycle_report(
-            kernel, groups, memo_key, report, dfg=dfg, coverages=coverages,
-            batch=batch, trace_engine=trace_engine, ladder=ladder,
-        )
-    return report
+    return in_loop, memory_cycles, pattern_rows
 
 
-def _has_active_read(group: RefGroup) -> bool:
+def has_active_read(group: RefGroup) -> bool:
+    """Whether the group has a read site that is not store-forwarded."""
     return any(
         not s.is_write and s.site_id not in group.forwarded for s in group.sites
     )

@@ -32,6 +32,7 @@ __all__ = [
     "build_design",
     "charge_stage",
     "classify_operand_storage",
+    "count_with_best_anchors",
     "fold_trace_stage",
 ]
 
@@ -184,7 +185,7 @@ def build_design(
     mixed_ops = _count_mixed_operand_ops(dfg, storage_class)
     mark = charge_stage(stages, "dfg_schedule", started)
 
-    cycles = _count_with_best_anchors(
+    cycles = count_with_best_anchors(
         kernel,
         groups,
         allocation,
@@ -229,7 +230,7 @@ def build_design(
     )
 
 
-def _count_with_best_anchors(
+def count_with_best_anchors(
     kernel,
     groups,
     allocation,
@@ -251,6 +252,11 @@ def _count_with_best_anchors(
     inputs of an operation come from registers in the same iterations.
     The search space is tiny (one binary choice per partially covered
     pinned group), so it is explored exhaustively.
+
+    This is the single authoritative objective evaluation of a design
+    point — :func:`build_design` reports it, and the exact allocator
+    (:mod:`repro.core.optra`) optimizes it directly, so the oracle's
+    optimum and the pipeline's reported metric cannot drift apart.
     """
     candidates = [
         g.name

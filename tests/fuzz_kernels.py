@@ -24,6 +24,7 @@ __all__ = [
     "FuzzCase",
     "random_kernel",
     "random_case",
+    "oracle_case",
     "random_stream",
     "random_tiled_stream",
 ]
@@ -122,6 +123,23 @@ def random_case(seed: int) -> FuzzCase:
     floor = len(groups)
     betas = sum(group.full_registers for group in groups)
     budget = rng.randint(floor, max(floor, min(floor + betas, 64)))
+    return FuzzCase(seed=seed, kernel=kernel, groups=groups, budget=budget)
+
+
+def oracle_case(seed: int) -> FuzzCase:
+    """Like :func:`random_case`, with a budget tight enough to brute-force.
+
+    The kernel is the same per seed; only the budget draw differs — at
+    most eight extra registers above the mandatory floor, so exhaustive
+    subset enumeration (and OPT-RA's certified search) stays cheap in
+    the differential-oracle suites.
+    """
+    kernel = random_kernel(seed)
+    groups = build_groups(kernel)
+    rng = random.Random(seed ^ 0x09AC1E)
+    floor = len(groups)
+    betas = sum(group.full_registers for group in groups)
+    budget = rng.randint(floor, max(floor, min(floor + betas, floor + 8)))
     return FuzzCase(seed=seed, kernel=kernel, groups=groups, budget=budget)
 
 

@@ -23,11 +23,13 @@ import numpy as np
 import pytest
 
 from fuzz_kernels import (
+    oracle_case,
     random_case,
     random_kernel,
     random_stream,
     random_tiled_stream,
 )
+from repro.core.optra import OptimalAllocator
 from repro.core.pipeline import allocator_by_name
 from repro.dfg.latency import LatencyModel
 from repro.scalar.coverage import GroupCoverage
@@ -206,10 +208,103 @@ def _shared_fuzz_context():
 _FUZZ_CONTEXT = None
 
 
+def _objective_cycles(case, allocation, ctx):
+    """The authoritative design objective (anchor-minimized cycles)."""
+    from repro.synth.estimate import (
+        classify_operand_storage,
+        count_with_best_anchors,
+    )
+
+    dfg = ctx.dfg(case.kernel, case.groups)
+    coverages = ctx.coverages(case.kernel, case.groups, batch=True)
+    storage = {
+        g.name: classify_operand_storage(
+            g, coverages[g.name], allocation.registers_for(g.name)
+        )
+        for g in case.groups
+    }
+    return count_with_best_anchors(
+        case.kernel, case.groups, allocation, MODEL, 1, 1, dfg, coverages,
+        storage, context=ctx,
+    ).total_cycles
+
+
+def _tuned_optra(**kwargs):
+    return OptimalAllocator(**kwargs).tune(
+        model=MODEL, ram_ports=1, overhead_per_iteration=1
+    )
+
+
+@pytest.mark.oracle
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzz_optra_differential(seed):
+    """OPT-RA's contract on the 120-seed corpus.
+
+    Dominance over every heuristic, infeasibility agreement below the
+    mandatory floor, budget monotonicity of the certified optimum, and
+    the truncated (certified-gap) run bracketing the heuristics.
+    """
+    from repro.errors import AllocationError
+
+    case = oracle_case(seed)
+    ctx = _shared_fuzz_context()
+    opt = _tuned_optra().allocate(
+        case.kernel, case.budget, case.groups, context=ctx
+    )
+    assert opt.certified, f"seed {seed}: default box truncated a tiny search"
+    opt_cycles = _objective_cycles(case, opt, ctx)
+    assert opt.lower_bound == opt_cycles, (
+        f"seed {seed}: certified bound {opt.lower_bound} != achieved "
+        f"{opt_cycles}"
+    )
+
+    heuristic_cycles = {}
+    for algorithm in ALGORITHMS:
+        allocation = allocator_by_name(algorithm).allocate(
+            case.kernel, case.budget, case.groups, context=ctx
+        )
+        heuristic_cycles[algorithm] = _objective_cycles(case, allocation, ctx)
+        assert opt_cycles <= heuristic_cycles[algorithm], (
+            f"seed {seed}: OPT-RA {opt_cycles} worse than "
+            f"{algorithm} {heuristic_cycles[algorithm]}"
+        )
+
+    # Infeasibility agreement: below the mandatory floor, everyone
+    # raises the same error type.
+    for algorithm in ("OPT-RA",) + ALGORITHMS:
+        with pytest.raises(AllocationError):
+            allocator_by_name(algorithm).allocate(
+                case.kernel, len(case.groups) - 1, case.groups
+            )
+
+    # Budget monotonicity: the optimum never worsens as budget grows.
+    floor_alloc = _tuned_optra().allocate(
+        case.kernel, len(case.groups), case.groups, context=ctx
+    )
+    assert opt_cycles <= _objective_cycles(case, floor_alloc, ctx), (
+        f"seed {seed}: optimum worsened as the budget grew"
+    )
+
+    # Certified-gap runs: a node-boxed search still brackets the
+    # optimum and every heuristic, deterministically.
+    boxed = _tuned_optra(node_limit=1).allocate(
+        case.kernel, case.budget, case.groups
+    )
+    boxed_cycles = _objective_cycles(case, boxed, ctx)
+    assert boxed.lower_bound <= opt_cycles <= boxed_cycles, (
+        f"seed {seed}: anytime bracket [{boxed.lower_bound}, "
+        f"{boxed_cycles}] misses the optimum {opt_cycles}"
+    )
+    assert boxed_cycles <= min(heuristic_cycles.values()), (
+        f"seed {seed}: truncated OPT-RA lost to a heuristic seed"
+    )
+
+
 def test_fuzz_generator_is_deterministic():
     for seed in (0, 7, 42):
         assert random_kernel(seed) == random_kernel(seed)
         assert random_case(seed).budget == random_case(seed).budget
+        assert oracle_case(seed).budget == oracle_case(seed).budget
 
 
 def test_fuzz_opt_trace_row_memoization():

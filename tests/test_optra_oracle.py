@@ -1,0 +1,360 @@
+"""Differential oracle: every heuristic pinned against OPT-RA.
+
+The exact allocator's contract comes in three parts, each tested here:
+
+* **exactness** — OPT-RA is bit-identical (register vector, not just
+  cycles) to a brute-force enumeration of every feasible register
+  assignment on all registered kernels at small budgets;
+* **dominance** — at every feasible (kernel, budget) grid point, OPT-RA
+  is at most every heuristic's cycle count (it is seeded with their
+  allocations, so this holds even truncated);
+* **provenance** — time-boxed runs return a certified anytime bracket
+  instead of raising, deterministically, and are never written to the
+  result cache as exact.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from fuzz_kernels import oracle_case
+from repro.core.allocation import Allocation
+from repro.core.optra import DEFAULT_NODE_LIMIT, OptimalAllocator
+from repro.core.pipeline import _ALLOCATORS, allocator_by_name
+from repro.dfg.build import build_dfg
+from repro.dfg.latency import LatencyModel
+from repro.errors import AllocationError, ReproError
+from repro.explore.cache import ResultCache
+from repro.explore.context import EvalContext
+from repro.explore.executor import Executor
+from repro.explore.query import DesignQuery, DesignRecord
+from repro.kernels import KERNEL_FACTORIES, get_kernel
+from repro.analysis.groups import build_groups
+from repro.scalar.coverage import GroupCoverage
+from repro.synth.estimate import classify_operand_storage, count_with_best_anchors
+
+MODEL = LatencyModel.realistic(ram_latency=2)
+HEURISTICS = ("FR-RA", "PR-RA", "CPA-RA", "KS-RA", "NO-SR")
+REGISTERED = sorted(KERNEL_FACTORIES)
+SMALL_BUDGETS = (6, 9, 12)
+
+
+def objective_cycles(kernel, groups, registers, budget, context=None):
+    """The pipeline's authoritative objective for one register vector."""
+    allocation = Allocation(
+        kernel_name=kernel.name,
+        algorithm="ORACLE",
+        budget=budget,
+        registers=dict(registers),
+        betas={g.name: g.full_registers for g in groups},
+    )
+    if context is not None:
+        dfg = context.dfg(kernel, groups)
+        coverages = context.coverages(kernel, groups, batch=True)
+    else:
+        dfg = build_dfg(kernel, groups)
+        coverages = {g.name: GroupCoverage(kernel, g) for g in groups}
+    storage = {
+        g.name: classify_operand_storage(
+            g, coverages[g.name], registers[g.name]
+        )
+        for g in groups
+    }
+    report = count_with_best_anchors(
+        kernel, groups, allocation, MODEL, 1, 1, dfg, coverages, storage,
+        context=context,
+    )
+    return report.total_cycles
+
+
+def brute_force_optimum(kernel, groups, budget, context=None):
+    """Subset-enumeration reference: every feasible register vector.
+
+    Returns ``(cycles, registers)`` minimizing the same tie-break key
+    OPT-RA uses — (cycles, total registers, vector in group order) — so
+    a comparison against it checks the chosen *vector*, not just the
+    cycle count.
+    """
+    extra = budget - len(groups)
+    assert extra >= 0
+    ranges = [
+        range(1, min(g.full_registers, 1 + extra) + 1) for g in groups
+    ]
+    best_key, best_registers = None, None
+    for combo in itertools.product(*ranges):
+        if sum(combo) > budget:
+            continue
+        registers = {g.name: r for g, r in zip(groups, combo)}
+        cycles = objective_cycles(kernel, groups, registers, budget, context)
+        key = (cycles, sum(combo), combo)
+        if best_key is None or key < best_key:
+            best_key, best_registers = key, registers
+    return best_key[0], best_registers
+
+
+@pytest.fixture(scope="module")
+def shared_context():
+    return EvalContext(kernel_memo_size=8)
+
+
+def _tuned_opt(**kwargs):
+    opt = OptimalAllocator(**kwargs)
+    return opt.tune(model=MODEL, ram_ports=1, overhead_per_iteration=1)
+
+
+# -- exactness ----------------------------------------------------------------
+
+
+@pytest.mark.oracle
+@pytest.mark.parametrize("name", REGISTERED)
+def test_optra_matches_brute_force_on_registered_kernels(
+    name, shared_context
+):
+    """Bit-identical to exhaustive enumeration at budgets <= 12."""
+    kernel = get_kernel(name)
+    groups = build_groups(kernel)
+    budgets = sorted({len(groups), *SMALL_BUDGETS})
+    for budget in budgets:
+        if budget < len(groups):
+            continue
+        want_cycles, want_registers = brute_force_optimum(
+            kernel, groups, budget, context=shared_context
+        )
+        allocation = _tuned_opt().allocate(
+            kernel, budget, groups, context=shared_context
+        )
+        got = {g.name: allocation.registers_for(g.name) for g in groups}
+        assert got == want_registers, (
+            f"{name} B={budget}: OPT-RA chose {got}, "
+            f"brute force {want_registers}"
+        )
+        assert allocation.certified
+        assert allocation.lower_bound == want_cycles
+
+
+@pytest.mark.slow
+@pytest.mark.oracle
+@pytest.mark.parametrize("seed", range(0, 120, 12))
+def test_optra_matches_brute_force_on_fuzz_kernels(seed):
+    """Spot-check exactness on random kernels too (tight oracle budgets)."""
+    case = oracle_case(seed)
+    want_cycles, want_registers = brute_force_optimum(
+        case.kernel, case.groups, case.budget
+    )
+    allocation = _tuned_opt().allocate(case.kernel, case.budget, case.groups)
+    got = {g.name: allocation.registers_for(g.name) for g in case.groups}
+    assert got == want_registers, f"seed {seed}: {got} != {want_registers}"
+    assert allocation.certified and allocation.lower_bound == want_cycles
+
+
+# -- dominance ----------------------------------------------------------------
+
+
+@pytest.mark.oracle
+@pytest.mark.parametrize("name", REGISTERED)
+def test_optra_dominates_heuristics_on_registered_kernels(
+    name, shared_context
+):
+    kernel = get_kernel(name)
+    groups = build_groups(kernel)
+    for budget in sorted({len(groups), 12, 24}):
+        if budget < len(groups):
+            continue
+        opt = _tuned_opt().allocate(
+            kernel, budget, groups, context=shared_context
+        )
+        opt_cycles = objective_cycles(
+            kernel, groups, dict(opt.registers), budget, shared_context
+        )
+        assert opt.lower_bound == opt_cycles
+        for heuristic in HEURISTICS:
+            allocation = allocator_by_name(heuristic).allocate(
+                kernel, budget, groups, context=shared_context
+            )
+            cycles = objective_cycles(
+                kernel, groups, dict(allocation.registers), budget,
+                shared_context,
+            )
+            assert opt_cycles <= cycles, (
+                f"{name} B={budget}: OPT-RA {opt_cycles} worse than "
+                f"{heuristic} {cycles}"
+            )
+
+
+# -- determinism --------------------------------------------------------------
+
+
+@pytest.mark.oracle
+def test_optra_deterministic_across_runs_and_contexts():
+    """Same vector from repeated runs, fresh/shared/absent contexts."""
+    kernel = get_kernel("fir")
+    groups = build_groups(kernel)
+    baseline = _tuned_opt().allocate(kernel, 12, groups)
+    ctx = EvalContext()
+    for allocation in (
+        _tuned_opt().allocate(kernel, 12, groups),
+        _tuned_opt().allocate(kernel, 12, groups, context=ctx),
+        _tuned_opt().allocate(kernel, 12, groups, context=ctx),  # memo hit
+        _tuned_opt().allocate(kernel, 12, groups, context=EvalContext()),
+    ):
+        assert allocation.registers == baseline.registers
+        assert allocation.certified
+        assert allocation.lower_bound == baseline.lower_bound
+    assert ctx.stats.optra_hits >= 1
+
+
+@pytest.mark.oracle
+def test_optra_context_budget_reuse_is_exact():
+    """A certified optimum answers smaller budgets only when bit-exact."""
+    kernel = get_kernel("mat")
+    groups = build_groups(kernel)
+    ctx = EvalContext()
+    # Solve descending: the budget-16 entry (total T) may answer any
+    # smaller budget down to T; every answer must equal a fresh solve.
+    for budget in (16, 12, 9, 6, len(groups)):
+        shared = _tuned_opt().allocate(kernel, budget, groups, context=ctx)
+        fresh = _tuned_opt().allocate(kernel, budget, groups)
+        assert shared.registers == fresh.registers, f"budget {budget}"
+        assert shared.lower_bound == fresh.lower_bound
+
+
+@pytest.mark.oracle
+def test_optra_records_identical_jobs1_vs_jobs2():
+    queries = [
+        DesignQuery.from_kernel(get_kernel(name), "OPT-RA", budget)
+        for name in ("fir", "mat")
+        for budget in (8, 12)
+    ]
+    serial = Executor(jobs=1).run(queries)
+    parallel = Executor(jobs=2).run(queries)
+    for left, right in zip(serial, parallel):
+        assert left == right  # full record equality (seconds excluded)
+        assert left.certified is True
+        assert left.opt_lower_bound == left.cycles
+
+
+# -- infeasibility agreement --------------------------------------------------
+
+
+@pytest.mark.oracle
+def test_optra_agrees_on_infeasible_budgets():
+    kernel = get_kernel("fir")
+    groups = build_groups(kernel)
+    floor = len(groups)
+    for name in ("OPT-RA",) + HEURISTICS:
+        with pytest.raises(AllocationError):
+            allocator_by_name(name).allocate(kernel, floor - 1, groups)
+
+
+# -- error paths and provenance ----------------------------------------------
+
+
+def test_allocator_by_name_unknown():
+    with pytest.raises(ReproError, match="unknown allocator"):
+        allocator_by_name("OPT-RA-2")
+
+
+def test_optra_rejects_bad_boxes():
+    with pytest.raises(ReproError, match="node_limit"):
+        OptimalAllocator(node_limit=0)
+    with pytest.raises(ReproError, match="time_box"):
+        OptimalAllocator(time_box=-1.0)
+
+
+def test_optra_node_box_returns_anytime_bound():
+    """Truncation yields an incumbent + bracket, never an exception."""
+    kernel = get_kernel("fir")
+    groups = build_groups(kernel)
+    first = _tuned_opt(node_limit=1).allocate(kernel, 64, groups)
+    again = _tuned_opt(node_limit=1).allocate(kernel, 64, groups)
+    assert not first.certified
+    assert first.lower_bound is not None
+    cycles = objective_cycles(kernel, groups, dict(first.registers), 64)
+    assert first.lower_bound <= cycles
+    # Seeded from the heuristics: never worse than any of them.
+    for heuristic in HEURISTICS:
+        allocation = allocator_by_name(heuristic).allocate(
+            kernel, 64, groups
+        )
+        assert cycles <= objective_cycles(
+            kernel, groups, dict(allocation.registers), 64
+        )
+    # The node box is deterministic, unlike a wall clock.
+    assert again.registers == first.registers
+    assert again.lower_bound == first.lower_bound
+    # The exact run at the same budget brackets inside the bound.
+    exact = _tuned_opt().allocate(kernel, 64, groups)
+    assert first.lower_bound <= exact.lower_bound <= cycles
+
+
+def test_optra_truncated_never_enters_context_memo():
+    kernel = get_kernel("fir")
+    groups = build_groups(kernel)
+    ctx = EvalContext()
+    truncated = _tuned_opt(node_limit=1).allocate(
+        kernel, 64, groups, context=ctx
+    )
+    assert not truncated.certified
+    # A later exact solve must not be answered by the truncated run.
+    exact = _tuned_opt().allocate(kernel, 64, groups, context=ctx)
+    assert exact.certified
+    fresh = _tuned_opt().allocate(kernel, 64, groups)
+    assert exact.registers == fresh.registers
+
+
+def test_cache_refuses_truncated_records(tmp_path):
+    cache = ResultCache(tmp_path)
+    query = DesignQuery(kernel="fir", allocator="OPT-RA", budget=64)
+    record = DesignRecord(
+        query=query, cycles=1, certified=False, opt_lower_bound=0
+    )
+    with pytest.raises(ReproError, match="truncated"):
+        cache.put(record)
+    assert len(cache) == 0
+
+
+def test_executor_skips_caching_truncated_records(tmp_path, monkeypatch):
+    monkeypatch.setattr("repro.core.optra.DEFAULT_NODE_LIMIT", 1)
+    cache = ResultCache(tmp_path)
+    queries = [
+        DesignQuery(kernel="fir", allocator="OPT-RA", budget=64),
+        DesignQuery(kernel="fir", allocator="CPA-RA", budget=64),
+    ]
+    results = Executor(jobs=1, cache=cache).run(queries)
+    opt, cpa = results[0], results[1]
+    assert opt.ok and opt.truncated and opt.opt_lower_bound <= opt.cycles
+    assert not cpa.truncated
+    # Only the heuristic record was persisted.
+    assert len(cache) == 1
+    assert cache.get(queries[1]) == cpa
+    assert cache.get(queries[0]) is None
+
+
+def test_design_record_serializes_provenance_only_for_optra(tmp_path):
+    cache = ResultCache(tmp_path)
+    records = Executor(jobs=1, cache=cache).run(
+        [
+            DesignQuery(kernel="mat", allocator="OPT-RA", budget=8),
+            DesignQuery(kernel="mat", allocator="KS-RA", budget=8),
+        ]
+    )
+    opt, ks = records[0], records[1]
+    assert opt.certified is True and opt.opt_lower_bound == opt.cycles
+    assert ks.certified is None and ks.opt_lower_bound is None
+    assert "certified" in opt.to_dict()
+    assert "certified" not in ks.to_dict()  # heuristic docs unchanged
+    for query, record in zip(
+        (q for q in (records[0].query, records[1].query)), records
+    ):
+        assert DesignRecord.from_dict(record.to_dict()) == record
+        assert cache.get(query) == record  # round-trips through disk
+
+
+def test_optra_registered_in_pipeline():
+    assert "OPT-RA" in _ALLOCATORS
+    allocator = allocator_by_name("OPT-RA")
+    assert isinstance(allocator, OptimalAllocator)
+    assert allocator.name == "OPT-RA"
+    assert DEFAULT_NODE_LIMIT >= 10_000
