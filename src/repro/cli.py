@@ -16,6 +16,9 @@ Commands
 ``perf``
     Run the tracked microbenchmark harness (``bench/perf.py``) and
     emit ``BENCH_4.json``.
+``lint``
+    Run the static cache-soundness & determinism analyzer
+    (``repro.lint``) over a source tree (default: this package).
 ``list``
     List the available kernels, allocators and devices.
 """
@@ -245,6 +248,38 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import CHECKS, render_json, render_text, run_lint
+
+    if args.list_checks:
+        for check in CHECKS.values():
+            print(f"{check.name:15} {check.description}")
+        return 0
+    report = run_lint(
+        root=args.root,
+        package=args.package,
+        checks=args.check,
+        entry=args.entry,
+    )
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(render_json(report) + "\n")
+        print(f"lint: JSON report -> {args.out}", file=sys.stderr)
+    if args.strict and report.unsuppressed:
+        print(
+            f"lint: FAIL — {len(report.unsuppressed)} unsuppressed "
+            f"finding(s) under --strict",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("kernels:   ", ", ".join(sorted(KERNEL_FACTORIES)))
     print("allocators:", ", ".join(sorted(_ALLOCATORS)))
@@ -425,6 +460,49 @@ def main(argv: "list[str] | None" = None) -> int:
         f"more than X times worse fails; default {COMPARE_THRESHOLD})",
     )
     p_perf.set_defaults(func=_cmd_perf)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static cache-soundness & determinism analysis of the "
+        "evaluation plane",
+    )
+    from repro.lint import CHECKS as _LINT_CHECKS
+
+    p_lint.add_argument(
+        "--check", action="append", default=None, metavar="NAME",
+        choices=sorted(_LINT_CHECKS),
+        help="run only this check (repeatable; default: all checks)",
+    )
+    p_lint.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="report format",
+    )
+    p_lint.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on any non-suppressed finding (the CI contract)",
+    )
+    p_lint.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="lint this source tree instead of the installed repro package",
+    )
+    p_lint.add_argument(
+        "--package", default="repro", metavar="NAME",
+        help="dotted package prefix of the linted tree (default: repro)",
+    )
+    p_lint.add_argument(
+        "--entry", default=None, metavar="MODULE",
+        help="evaluation-plane root module scoping the cone checks "
+        "(default: <package>.explore.evaluate; whole tree when absent)",
+    )
+    p_lint.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON report here (any --format)",
+    )
+    p_lint.add_argument(
+        "--list", dest="list_checks", action="store_true",
+        help="list the available checks and exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_list = sub.add_parser("list", help="list kernels and allocators")
     p_list.set_defaults(func=_cmd_list)

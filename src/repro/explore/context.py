@@ -59,6 +59,7 @@ cached records exactly like editing the evaluator itself.
 
 from __future__ import annotations
 
+# repro-lint: ok-file determinism:id-key -- every id()-keyed lookup here is guarded by an `is` check against the stored object (and evicted with it), so a recycled id can never answer for a different kernel/model
 import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -93,6 +94,7 @@ def _default_kernel_memo() -> int:
     memo cannot be disabled, only bounded, since kernel construction
     itself routes through it even with ``context=False``.
     """
+    # repro-lint: ok determinism:env-read -- sizes the kernel-bundle LRU only; a different value changes eviction timing (warm-up cost), never any evaluated result
     raw = os.environ.get("REPRO_EVAL_MEMO_KERNELS")
     if raw is None:
         return 64
@@ -602,6 +604,7 @@ class EvalContext:
 _PROCESS_CONTEXT: "EvalContext | None" = None
 
 
+# repro-lint: ok version-cone:mutable-global -- the documented per-process memo root: each worker lazily builds its own context, so divergence affects warm-up cost only, never results
 def process_context() -> EvalContext:
     """The per-process shared context (created on first use)."""
     global _PROCESS_CONTEXT
@@ -610,6 +613,7 @@ def process_context() -> EvalContext:
     return _PROCESS_CONTEXT
 
 
+# repro-lint: ok version-cone:mutable-global -- test/bench escape hatch for the same per-process memo root; memo contents never change results
 def reset_process_context(
     kernel_memo_size: int = DEFAULT_KERNEL_MEMO,
 ) -> EvalContext:

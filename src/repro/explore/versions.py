@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import warnings
 from functools import lru_cache
 from pathlib import Path
 from typing import Iterable
@@ -48,8 +49,10 @@ from repro.kernels.registry import KERNEL_FACTORIES
 
 __all__ = [
     "VersionRegistry",
+    "DynamicImportWarning",
     "default_registry",
     "EVALUATION_ROOT",
+    "find_dynamic_imports",
     "kernel_module",
     "allocator_module",
     "plugin_modules",
@@ -65,6 +68,44 @@ EVALUATION_ROOT = "repro.explore.evaluate"
 #: *their* edges into the plugin families are pruned during cone
 #: traversal (plugin-to-plugin imports are real dependencies).
 DISPATCH_MODULES = frozenset({"repro.kernels.registry", "repro.core.pipeline"})
+
+
+class DynamicImportWarning(UserWarning):
+    """A cone module imports dynamically; its dependency edge is untracked.
+
+    The version vectors only guard what the AST import graph can see.
+    A module using ``importlib.import_module`` / ``__import__`` has a
+    real dependency the graph omits, so cache entries whose cone
+    contains it may stay "valid" after the dynamically imported code
+    changes.  The extractor *warns loudly* instead of silently dropping
+    the edge; ``repro lint``'s ``version-cone`` check reports the same
+    sites statically.
+    """
+
+
+def find_dynamic_imports(tree: ast.AST) -> "list[tuple[int, str]]":
+    """``(line, description)`` for every dynamic-import call in ``tree``.
+
+    Shared by :meth:`VersionRegistry._parse_imports` (runtime warning)
+    and the ``version-cone`` lint check (static finding), so the two
+    can never disagree about what counts as untrackable.
+    """
+    found: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "__import__":
+            found.append((node.lineno, "__import__(...)"))
+        elif isinstance(func, ast.Name) and func.id == "import_module":
+            found.append((node.lineno, "import_module(...)"))
+        elif isinstance(func, ast.Attribute) and func.attr == "import_module":
+            found.append((node.lineno, f"{func.attr}(...)"))
+        elif isinstance(func, ast.Attribute) and func.attr == "reload" and (
+            isinstance(func.value, ast.Name) and func.value.id == "importlib"
+        ):
+            found.append((node.lineno, "importlib.reload(...)"))
+    return sorted(found)
 
 
 class VersionRegistry:
@@ -130,6 +171,16 @@ class VersionRegistry:
     def _parse_imports(self, module: str) -> frozenset[str]:
         known = self.modules()
         tree = ast.parse(known[module].read_text())
+        for lineno, description in find_dynamic_imports(tree):
+            warnings.warn(
+                f"version cone: {module} (line {lineno}) uses a dynamic "
+                f"import ({description}) the AST import graph cannot "
+                f"track; cache entries depending on this module may miss "
+                f"a real dependency edge and stay stale-blind to edits "
+                f"of the dynamically imported code",
+                DynamicImportWarning,
+                stacklevel=3,
+            )
         deps: set[str] = set()
 
         def note(name: str) -> None:
@@ -234,11 +285,13 @@ def default_registry() -> VersionRegistry:
 
 @lru_cache(maxsize=1)
 def _kernel_modules() -> dict[str, str]:
+    # repro-lint: ok version-cone:wholesale-plugin-use -- metadata-only read (defining-module names) used to build the version registry itself; no plugin code runs
     return {name: factory.__module__ for name, factory in KERNEL_FACTORIES.items()}
 
 
 @lru_cache(maxsize=1)
 def _allocator_modules() -> dict[str, str]:
+    # repro-lint: ok version-cone:wholesale-plugin-use -- metadata-only read (defining-module names) used to build the version registry itself; no plugin code runs
     return {name: cls.__module__ for name, cls in _ALLOCATORS.items()}
 
 

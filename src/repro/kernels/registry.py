@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ValidationError
 from repro.ir.kernel import Kernel
+from repro.ir.validate import validate_kernel
 from repro.kernels.bic import build_bic
 from repro.kernels.decfir import build_decfir
 from repro.kernels.fir import build_fir
@@ -33,6 +34,30 @@ KERNEL_FACTORIES: dict[str, Callable[[], Kernel]] = {
     "pat": build_pat,
     "bic": build_bic,
 }
+
+
+def _validate_registry(
+    factories: "dict[str, Callable[[], Kernel]] | None" = None,
+) -> None:
+    """Build every registered kernel once and run the IR validator.
+
+    Runs at import time so a malformed registration fails loudly at the
+    registry, naming the kernel — not deep inside the first analysis
+    pass that happens to touch it.  The six paper kernels build in a few
+    milliseconds, so the import-time cost is negligible next to the
+    analyses that follow.
+    """
+    for name, factory in (factories or KERNEL_FACTORIES).items():
+        try:
+            validate_kernel(factory())
+        except ValidationError as exc:
+            raise ReproError(
+                f"kernel registry entry {name!r} failed IR validation "
+                f"at import: {exc}"
+            ) from exc
+
+
+_validate_registry()
 
 
 def paper_kernels() -> list[Kernel]:

@@ -1,0 +1,37 @@
+"""Text and JSON rendering of :class:`~repro.lint.framework.LintReport`."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.framework import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable findings, one ``path:line: [check:code] ...`` per
+    finding, suppressed ones marked with their justification."""
+    lines: list[str] = []
+    for finding in report.findings:
+        tag = f"[{finding.check}:{finding.code}]"
+        head = f"{finding.location}: {tag} {finding.message}"
+        if finding.suppressed:
+            head += f"  (suppressed: {finding.justification})"
+        lines.append(head)
+        if finding.hint and not finding.suppressed:
+            lines.append(f"    hint: {finding.hint}")
+    active = len(report.unsuppressed)
+    suppressed = len(report.findings) - active
+    lines.append(
+        f"repro lint: {report.modules} modules, "
+        f"{len(report.checks)} checks ({', '.join(report.checks)}): "
+        f"{active} finding{'s' if active != 1 else ''}"
+        + (f", {suppressed} suppressed" if suppressed else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The report as a stable, machine-readable JSON document."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)

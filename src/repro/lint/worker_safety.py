@@ -1,0 +1,194 @@
+"""Check ``worker-safety``: pool work units must pickle and not share.
+
+The executor fans evaluation out over a ``ProcessPoolExecutor``; work
+units and their arguments cross the process boundary by pickling, and
+anything module-global is silently *copied* per worker rather than
+shared.  This check flags the constructs that break either property:
+
+``lambda-to-pool``
+    A lambda submitted to a pool (``pool.submit(lambda: ...)``):
+    lambdas do not pickle, so the sweep dies at submission time — and
+    only when the parallel path actually runs.
+``local-callable-to-pool``
+    A function defined inside another function submitted to a pool:
+    nested functions do not pickle either.
+``bound-method-to-pool``
+    A bound method (``pool.submit(self.run, ...)``) — picklable only if
+    the whole instance is, which silently drags object state across the
+    boundary; reported as a warning.
+``mutable-global-state``
+    A module-level mutable container (dict/list/set) that functions in
+    the same cone module mutate: each worker mutates its own copy, so
+    results can depend on which worker evaluated which points.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.framework import (
+    Finding,
+    LintContext,
+    ModuleUnit,
+    dotted_path,
+    register_check,
+)
+
+__all__ = ["check_worker_safety"]
+
+_MUTATORS = frozenset({
+    "append", "add", "update", "setdefault", "extend", "insert",
+    "clear", "pop", "popitem", "remove", "discard",
+})
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                         ast.SetComp, ast.DictComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("dict", "list", "set", "defaultdict",
+                             "OrderedDict", "Counter", "deque")
+    )
+
+
+def _nested_defs(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside other functions."""
+    nested: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in ast.walk(node):
+                if sub is node:
+                    continue
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(sub.name)
+    return nested
+
+
+def _pool_submissions(tree: ast.Module):
+    """``(call node, submitted callable)`` for pool submit/map calls."""
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        owner = dotted_path(node.func.value) or ""
+        looks_pool = any(s in owner.lower() for s in ("pool", "executor"))
+        if node.func.attr == "submit" and node.args:
+            yield node, node.args[0]
+        elif node.func.attr in ("map", "imap", "imap_unordered") and (
+            looks_pool and node.args
+        ):
+            yield node, node.args[0]
+
+
+def check_worker_safety(context: LintContext) -> Iterable[Finding]:
+    cone = context.cone()
+    for name, unit in context.units().items():
+        yield from _check_submissions(context, unit)
+        if name in cone:
+            yield from _check_module_state(context, unit)
+
+
+def _check_submissions(
+    context: LintContext, unit: ModuleUnit
+) -> Iterable[Finding]:
+    path = context.relpath(unit)
+    nested = _nested_defs(unit.tree)
+    for call, fn in _pool_submissions(unit.tree):
+        if isinstance(fn, ast.Lambda):
+            yield Finding(
+                check="worker-safety", code="lambda-to-pool",
+                message=(
+                    "lambda submitted to a process pool: lambdas do not "
+                    "pickle, so the sweep dies at submission time"
+                ),
+                path=path, line=fn.lineno,
+                hint="submit a module-level function instead",
+            )
+        elif isinstance(fn, ast.Name) and fn.id in nested:
+            yield Finding(
+                check="worker-safety", code="local-callable-to-pool",
+                message=(
+                    f"locally defined function {fn.id!r} submitted to a "
+                    f"process pool: nested functions do not pickle"
+                ),
+                path=path, line=fn.lineno,
+                hint="hoist the work unit to module level",
+            )
+        elif isinstance(fn, ast.Attribute):
+            yield Finding(
+                check="worker-safety", code="bound-method-to-pool",
+                message=(
+                    f"bound method {dotted_path(fn) or fn.attr!r} submitted "
+                    f"to a process pool: pickles the whole instance into "
+                    f"every worker (or fails if any attribute does not "
+                    f"pickle)"
+                ),
+                path=path, line=fn.lineno, severity="warning",
+                hint="submit a module-level function taking explicit "
+                "arguments",
+            )
+
+
+def _check_module_state(
+    context: LintContext, unit: ModuleUnit
+) -> Iterable[Finding]:
+    path = context.relpath(unit)
+    containers: dict[str, int] = {}
+    for node in unit.tree.body:
+        targets: list[ast.AST] = []
+        value = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None or not _is_mutable_literal(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                containers[target.id] = node.lineno
+    if not containers:
+        return
+    for node in ast.walk(unit.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for sub in ast.walk(node):
+            hit: "str | None" = None
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _MUTATORS
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id in containers
+            ):
+                hit = sub.func.value.id
+            elif isinstance(sub, ast.Assign):
+                for t in sub.targets:
+                    if (
+                        isinstance(t, ast.Subscript)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id in containers
+                    ):
+                        hit = t.value.id
+            if hit is not None:
+                yield Finding(
+                    check="worker-safety", code="mutable-global-state",
+                    message=(
+                        f"{node.name}() mutates module-level container "
+                        f"{hit!r} in an evaluation-cone module: every pool "
+                        f"worker mutates its own copy, so results can "
+                        f"depend on worker placement"
+                    ),
+                    path=path, line=sub.lineno,
+                    hint="move the state into an object threaded through "
+                    "the call chain, or suppress with why per-process "
+                    "divergence cannot change results",
+                )
+
+
+register_check(
+    "worker-safety",
+    "pool work units pickle cleanly and share no hidden module state",
+)(check_worker_safety)

@@ -64,6 +64,7 @@ def trace_engine_seconds() -> float:
     return _TRACE_SECONDS
 
 
+# repro-lint: ok version-cone:mutable-global -- per-process telemetry accumulator (trace seconds) read only by bench reporting; never feeds an evaluated result
 def _charge_trace(since: float) -> None:
     global _TRACE_SECONDS
     _TRACE_SECONDS += time.perf_counter() - since

@@ -1,0 +1,9 @@
+"""Fixture corpus for ``repro lint`` (package ``lintfix``).
+
+Each module is a minimal positive or negative example for one check;
+``tests/test_lint.py`` pins the exact findings the analyzer must
+produce over this tree.  There is no ``lintfix.explore.evaluate``, so
+the evaluation cone falls back to the whole tree and the knob set to
+``FALLBACK_KNOBS`` — exactly the fixture behavior the framework
+documents.
+"""

@@ -1,0 +1,16 @@
+"""The fixed shape of :mod:`lintfix.missing_key`: every knob parameter
+reaches the memo key.  Must produce zero findings."""
+
+
+class CoverageMemo:
+    def __init__(self):
+        self._coverages = {}
+
+    def coverages(self, kernel, batch=True, engine="array", ladder=True):
+        key = (kernel, batch, engine, ladder)
+        found = self._coverages.get(key)
+        if found is not None:
+            return found
+        value = ("coverage", kernel, batch, engine, ladder)
+        self._coverages[key] = value
+        return value

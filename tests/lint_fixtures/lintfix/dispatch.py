@@ -1,0 +1,16 @@
+"""A ``KERNEL_FACTORIES``-shaped plugin registry.  Keyed lookups and
+the defining module's own wholesale accessor are allowed — this module
+itself must produce zero findings."""
+
+from lintfix.plugins_a import make_a
+from lintfix.plugins_b import make_b
+
+FACTORIES = {"a": make_a, "b": make_b}
+
+
+def get(name):
+    return FACTORIES[name]()
+
+
+def all_plugins():
+    return [fn() for fn in FACTORIES.values()]

@@ -1,0 +1,14 @@
+"""Version-cone specimens: dynamic imports the AST import graph cannot
+see, plus a rebound module global — three findings."""
+
+import importlib
+
+PLUGIN = None
+
+
+def load(name):
+    module = importlib.import_module(name)
+    extra = __import__("json")
+    global PLUGIN
+    PLUGIN = module
+    return module, extra

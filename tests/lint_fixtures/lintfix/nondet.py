@@ -1,0 +1,33 @@
+"""One specimen per ``determinism`` code — six findings total."""
+
+import os
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    return random.random()
+
+
+def seed_from_env():
+    return os.environ["REPRO_SEED"]
+
+
+def remember(cache, obj):
+    cache[id(obj)] = obj
+    return cache
+
+
+def visit(items):
+    total = 0
+    for item in {1, 2, 3}:
+        total += item
+    return total + len(items)
+
+
+def reduce_floats(values):
+    return sum({v * 0.5 for v in values})

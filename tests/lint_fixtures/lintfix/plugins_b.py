@@ -1,0 +1,2 @@
+def make_b():
+    return "b"

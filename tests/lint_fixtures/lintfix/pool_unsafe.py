@@ -1,0 +1,23 @@
+"""Worker-safety specimens: unpicklable work units and hidden module
+state — four findings (one of them a warning)."""
+
+RESULTS = {}
+
+
+def record(name, value):
+    RESULTS[name] = value
+
+
+class Sweep:
+    def run(self, pool, items):
+        futures = [pool.submit(lambda item=i: item * 2) for i in items]
+
+        def work(x):
+            return x + 1
+
+        pool.submit(work, 3)
+        pool.submit(self.step, 4)
+        return futures
+
+    def step(self, x):
+        return x

@@ -1,0 +1,15 @@
+"""Suppression semantics: a justified suppression silences its finding
+(kept in the report as suppressed), a bare one silences too but is
+itself reported as ``framework:bare-suppression``."""
+
+import time
+
+
+def stamp_envelope():
+    # repro-lint: ok determinism:wall-clock -- envelope metadata only; never keys a cache entry
+    return time.time()
+
+
+def stamp_bare():
+    # repro-lint: ok determinism:wall-clock
+    return time.time()

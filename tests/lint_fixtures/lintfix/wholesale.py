@@ -1,0 +1,17 @@
+"""Violations of the dispatcher-pruning contract: wholesale map
+iteration outside the dispatcher, a wholesale-accessor call, and a
+late registration — three findings."""
+
+from lintfix.dispatch import FACTORIES, all_plugins
+
+
+def everything():
+    return all_plugins()
+
+
+def names():
+    return [name for name, _ in FACTORIES.items()]
+
+
+def register(name, factory):
+    FACTORIES[name] = factory

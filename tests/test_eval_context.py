@@ -313,3 +313,64 @@ class TestKernelMajorChunking:
                 if not seen or seen[-1] != query.kernel:
                     assert query.kernel not in seen
                     seen.append(query.kernel)
+
+
+class TestStatsExactAccounting:
+    """The stats counters are an auditable ledger: a scripted call
+    sequence must produce exactly the hits and misses it implies."""
+
+    def test_direct_memo_sequence(self):
+        from repro.dfg.latency import LatencyModel
+
+        ctx = EvalContext()
+        kernel, groups = ctx.kernel_and_groups("fir", None)
+
+        shared = ctx.coverages(kernel)
+        assert ctx.coverages(kernel) is shared
+        assert (ctx.stats.coverage_misses, ctx.stats.coverage_hits) == (1, 1)
+        # A different ladder flag is a different key, not a hit.
+        ctx.coverages(kernel, ladder=False)
+        assert (ctx.stats.coverage_misses, ctx.stats.coverage_hits) == (2, 1)
+
+        dfg = ctx.dfg(kernel)
+        assert ctx.dfg(kernel) is dfg
+        assert (ctx.stats.dfg_misses, ctx.stats.dfg_hits) == (1, 1)
+
+        model = LatencyModel.realistic(ram_latency=2)
+        first = ctx.schedule(kernel, dfg, model, {}, 1)
+        assert ctx.schedule(kernel, dfg, model, {}, 1) == first
+        assert (ctx.stats.schedule_misses, ctx.stats.schedule_hits) == (1, 1)
+
+        params = ("fp", 1, 1, True, "array", True)
+        entry = {"budget": 16, "total": 9, "registers": (), "cycles": 1}
+        assert ctx.optra_lookup(kernel, groups, params, 16) is None
+        ctx.optra_store(kernel, groups, params, entry)
+        # Certified at 16 with total 9: answers every budget in [9, 16].
+        assert ctx.optra_lookup(kernel, groups, params, 16) == entry
+        assert ctx.optra_lookup(kernel, groups, params, 9) == entry
+        assert ctx.optra_lookup(kernel, groups, params, 8) is None
+        assert (ctx.stats.optra_misses, ctx.stats.optra_hits) == (2, 2)
+
+    def test_optra_query_sequence(self):
+        """OPT-RA at budgets (16, 16, 15, 8): the 16-budget optimum is
+        certified with total 15, so the repeat and the 15-budget query
+        answer from the memo while 8 falls below the certified interval
+        and recomputes.  Every counter is pinned — the evaluation plane
+        is deterministic, so this ledger is too."""
+        ctx = EvalContext()
+        for budget in (16, 16, 15, 8):
+            record = evaluate_query(
+                DesignQuery(kernel="fir", allocator="OPT-RA", budget=budget),
+                context=ctx,
+            )
+            assert record.error is None
+        assert ctx.stats.as_dict() == {
+            "kernel_hits": 3, "kernel_misses": 1,
+            "dfg_hits": 7, "dfg_misses": 1,
+            "coverage_hits": 5, "coverage_misses": 1,
+            "schedule_hits": 899, "schedule_misses": 8,
+            "critical_hits": 1, "critical_misses": 1,
+            "knapsack_hits": 1, "knapsack_misses": 1,
+            "cycles_hits": 39, "cycles_misses": 183,
+            "optra_hits": 2, "optra_misses": 2,
+        }

@@ -339,3 +339,35 @@ class TestIncrementalResume:
         assert resumed.stats.stale == 2
         assert resumed.stats.cache_hits == 2
         assert resumed.stats.evaluated == 2
+
+
+class TestDynamicImportWarning:
+    """Untrackable dynamic imports warn loudly when the registry parses
+    the offending module (satellite of the lint PR: the runtime twin of
+    ``repro lint``'s version-cone:dynamic-import finding)."""
+
+    def test_dynamic_import_warns_with_module_and_line(self, tmp_path):
+        from repro.explore.versions import DynamicImportWarning
+
+        pkg = make_tree(tmp_path)
+        (pkg / "shifty.py").write_text(
+            textwrap.dedent(
+                """
+                import importlib
+
+                def load(name):
+                    return importlib.import_module(name)
+                """
+            )
+        )
+        registry = VersionRegistry(pkg, package="pkg")
+        with pytest.warns(DynamicImportWarning, match=r"pkg\.shifty \(line 5\)"):
+            registry.cone(["pkg.shifty"])
+
+    def test_static_tree_is_silent(self, tmp_path):
+        import warnings as _warnings
+
+        registry = VersionRegistry(make_tree(tmp_path), package="pkg")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            registry.cone(["pkg.top"])

@@ -150,3 +150,27 @@ class TestReuseStructure:
     def test_factories_are_parameterizable(self):
         assert build_fir(n=10, taps=3).iteration_count == 30
         assert build_mat(n=3).iteration_count == 27
+
+
+class TestRegistryValidation:
+    """The registry IR-validates every factory when it is constructed."""
+
+    def test_shipped_registry_passes(self):
+        from repro.kernels.registry import _validate_registry
+
+        _validate_registry()
+
+    def test_broken_factory_fails_loudly_naming_the_kernel(self):
+        from repro.ir import INT16, INT32, KernelBuilder
+        from repro.kernels.registry import _validate_registry
+
+        def build_broken():
+            b = KernelBuilder("broken")
+            i = b.loop("i", 4)
+            x = b.array("x", (2,), INT16)
+            y = b.array("y", (4,), INT32, role="output")
+            b.assign(y[i], x[i])
+            return b.build()
+
+        with pytest.raises(ReproError, match="'broken' failed IR validation"):
+            _validate_registry({"broken": build_broken})
