@@ -22,6 +22,10 @@ machine-readable ``BENCH_<n>.json`` the repo's perf trajectory tracks:
   answers the whole axis), the window coverage trace (one shared
   capacity-independent plane), and the end-to-end CPA-RA design
   column under a fresh context (``--no-budget-ladder`` off vs on);
+* **supervision overhead** — the warm-context grid again, driven by the
+  supervised execution plane (deadlines/retries/quarantine bookkeeping,
+  the default) vs ``--no-supervise``; the happy-path overhead must stay
+  in the noise (<3% locally, gated loosely in CI);
 * **equivalence** — the no-context and context grids are compared
   record for record; a benchmark that got fast by changing answers
   fails loudly (``identical`` must be true).
@@ -65,8 +69,8 @@ __all__ = [
     "render_compare",
 ]
 
-#: Sequence number of this harness's output file (``BENCH_6.json``).
-BENCH_NUMBER = 6
+#: Sequence number of this harness's output file (``BENCH_9.json``).
+BENCH_NUMBER = 9
 
 #: The Table-1-shaped reference grid: 4 kernels x 5 allocators x 16
 #: budgets = 320 points, matching the acceptance target of the
@@ -123,6 +127,10 @@ class PerfReport:
     single_warm_context: float
     single_repeats: int
     identical: bool
+    #: Warm-context grid seconds under the supervised drive loop vs
+    #: ``supervise=False`` (0.0 = unmeasured, e.g. an old report).
+    grid_warm_supervised: float = 0.0
+    grid_warm_unsupervised: float = 0.0
     context_stats: dict[str, int] = field(default_factory=dict)
     #: kernel -> {"reference": seconds, "array": seconds}: cold
     #: single-point evaluation under each trace engine, context off.
@@ -144,6 +152,13 @@ class PerfReport:
     @property
     def speedup_single(self) -> float:
         return self.single_no_context / self.single_warm_context
+
+    @property
+    def supervision_overhead(self) -> float:
+        """Fractional warm-grid slowdown of supervision (0 = unmeasured)."""
+        if not self.grid_warm_supervised or not self.grid_warm_unsupervised:
+            return 0.0
+        return self.grid_warm_supervised / self.grid_warm_unsupervised - 1.0
 
     def trace_speedup(self, kernel: str) -> float:
         timings = self.trace_single[kernel]
@@ -186,11 +201,20 @@ class PerfReport:
                 "grid_warm_context": self.grid_warm_context,
                 "single_point_no_context": self.single_no_context,
                 "single_point_warm_context": self.single_warm_context,
+                "grid_warm_supervised": self.grid_warm_supervised,
+                "grid_warm_unsupervised": self.grid_warm_unsupervised,
             },
             "speedup": {
                 "grid_cold_vs_no_context": self.speedup_cold,
                 "grid_warm_vs_no_context": self.speedup_warm,
                 "single_point_warm_vs_no_context": self.speedup_single,
+                # ~1.0 when supervision is free; shrinks as its
+                # happy-path overhead grows, so the compare gate
+                # catches a bookkeeping regression host-independently.
+                "supervised_vs_unsupervised": (
+                    self.grid_warm_unsupervised / self.grid_warm_supervised
+                    if self.grid_warm_supervised else 0.0
+                ),
             },
             "trace_single": {
                 kernel: {
@@ -228,10 +252,12 @@ class PerfReport:
 
 
 def _time_grid(
-    space: ExplorationSpace, context: "bool | EvalContext"
+    space: ExplorationSpace,
+    context: "bool | EvalContext",
+    supervise: bool = True,
 ) -> "tuple[float, ResultSet]":
     started = time.perf_counter()
-    results = Executor(jobs=1, context=context).run(space)
+    results = Executor(jobs=1, context=context, supervise=supervise).run(space)
     return time.perf_counter() - started, results
 
 
@@ -383,6 +409,19 @@ def run_perf(quick: bool = False, single_repeats: int = 5) -> PerfReport:
     warm_seconds, warm = _time_grid(space, context=ctx)
     identical = tuple(base) == tuple(cold) and tuple(base) == tuple(warm)
 
+    # Supervision overhead: the same warm grid, supervised (the
+    # default drive loop) vs bare, best-of so one scheduler hiccup
+    # cannot fake a regression.  Also part of the equivalence verdict:
+    # supervision must not change a single record.
+    sup_seconds = unsup_seconds = float("inf")
+    for _ in range(min(single_repeats, 3)):
+        seconds, supervised = _time_grid(space, context=ctx, supervise=True)
+        sup_seconds = min(sup_seconds, seconds)
+        identical = identical and tuple(base) == tuple(supervised)
+        seconds, bare = _time_grid(space, context=ctx, supervise=False)
+        unsup_seconds = min(unsup_seconds, seconds)
+        identical = identical and tuple(base) == tuple(bare)
+
     single_base = _time_single(SINGLE_POINT, False, single_repeats)
     single_ctx = EvalContext()
     # Prime, then time: every repeat after the first runs warm anyway.
@@ -413,6 +452,8 @@ def run_perf(quick: bool = False, single_repeats: int = 5) -> PerfReport:
         single_warm_context=single_warm,
         single_repeats=single_repeats,
         identical=identical,
+        grid_warm_supervised=sup_seconds,
+        grid_warm_unsupervised=unsup_seconds,
         context_stats=ctx.stats.as_dict(),
         trace_single=trace_single,
         budget_column=budget_column,
@@ -433,6 +474,12 @@ def render_perf(report: PerfReport) -> str:
         f"{report.single_warm_context * 1e3:.2f}ms warm "
         f"({report.speedup_single:.2f}x, best of {report.single_repeats})",
     ]
+    if report.grid_warm_supervised:
+        lines.append(
+            f"  supervision   {report.grid_warm_supervised:8.2f}s vs "
+            f"{report.grid_warm_unsupervised:.2f}s bare "
+            f"({report.supervision_overhead:+.1%} overhead, warm grid)"
+        )
     for kernel, timings in report.trace_single.items():
         lines.append(
             f"  trace {kernel:<7} {timings['reference'] * 1e3:8.2f}ms -> "

@@ -19,6 +19,9 @@ Commands
 ``lint``
     Run the static cache-soundness & determinism analyzer
     (``repro.lint``) over a source tree (default: this package).
+``cache``
+    Cache maintenance: ``cache fsck DIR [--repair]`` scans a result
+    cache for damaged entries and orphaned tmp files.
 ``list``
     List the available kernels, allocators and devices.
 """
@@ -138,6 +141,14 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     # A populated cache directory is there to be reused: --cache-dir
     # implies resume semantics, and --fresh forces re-evaluation.
     reuse = (cache is not None or args.resume) and not args.fresh
+    faults = None
+    if args.inject:
+        from repro.explore import parse_fault_spec
+
+        faults = parse_fault_spec(args.inject, seed=args.inject_seed)
+    from repro.errors import SweepInterrupted
+    from repro.explore import DeadlinePolicy, RetryPolicy
+
     executor = Executor(
         jobs=args.jobs,
         cache=cache,
@@ -147,8 +158,18 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         shard=args.shard,
         trace_engine="reference" if args.no_array_trace else "array",
         ladder=not args.no_budget_ladder,
+        supervise=not args.no_supervise,
+        retry=RetryPolicy(max_retries=args.max_retries),
+        deadlines=DeadlinePolicy(timeout_factor=args.timeout_factor),
+        faults=faults,
     )
-    results = executor.run(space)
+    try:
+        results = executor.run(space)
+    except SweepInterrupted as exc:
+        # Completed records were flushed to the cache before this was
+        # raised; the same command resumes where it stopped.
+        print(f"explore: {exc}", file=sys.stderr)
+        return 130
     if args.gap_report is not None:
         from repro.bench.sweeps import gap_rows, opt_gap_csv
         from repro.errors import ReproError
@@ -245,6 +266,17 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if (
+        args.max_supervision_overhead is not None
+        and report.supervision_overhead > args.max_supervision_overhead
+    ):
+        print(
+            f"perf: FAIL — supervised warm-grid overhead "
+            f"{report.supervision_overhead:.1%} exceeds the allowed "
+            f"{args.max_supervision_overhead:.1%}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -278,6 +310,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_cache_fsck(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.dir)
+    report = cache.fsck(repair=args.repair)
+    print(f"fsck {args.dir}: {report.summary()}")
+    for path in report.corrupt:
+        print(f"  corrupt: {path}")
+    for path in report.tmp:
+        print(f"  orphaned tmp: {path}")
+    if report.clean or args.repair:
+        return 0
+    print(
+        "fsck: problems found — re-run with --repair to quarantine "
+        "corrupt entries and reap orphaned tmp files",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -399,6 +449,32 @@ def main(argv: "list[str] | None" = None) -> int:
         "either way)",
     )
     p_explore.add_argument(
+        "--no-supervise", action="store_true",
+        help="disable the supervised drive loop (deadlines, retries, "
+        "quarantine, pool recovery); results are bit-identical on the "
+        "happy path, but a broken worker pool aborts the sweep",
+    )
+    p_explore.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries before a repeatedly failing point is quarantined "
+        "(default 2)",
+    )
+    p_explore.add_argument(
+        "--timeout-factor", type=float, default=20.0, metavar="X",
+        help="per-point deadline as X times the cost model's prediction "
+        "(clamped; catches hung workers, default 20)",
+    )
+    p_explore.add_argument(
+        "--inject", default=None, metavar="SPEC",
+        help="inject deterministic faults, e.g. 'crash=0.2,kill=0.1' "
+        "(kinds: crash, hang, kill, slow, corrupt-write, enospc; "
+        "chaos testing only)",
+    )
+    p_explore.add_argument(
+        "--inject-seed", type=int, default=0, metavar="N",
+        help="seed for the --inject fault plan (default 0)",
+    )
+    p_explore.add_argument(
         "--profile", action="store_true",
         help="print a per-stage wall-time breakdown (kernel build / "
         "allocation / DFG+coverage / cycle count) of the evaluated points",
@@ -415,7 +491,7 @@ def main(argv: "list[str] | None" = None) -> int:
 
     p_perf = sub.add_parser(
         "perf",
-        help="run the tracked microbenchmark harness (emits BENCH_6.json) "
+        help="run the tracked microbenchmark harness (emits BENCH_9.json) "
         "or compare two emitted reports",
     )
     p_perf.add_argument(
@@ -424,7 +500,7 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     p_perf.add_argument(
         "--out", default=None, metavar="PATH",
-        help="write the JSON report here (e.g. BENCH_6.json)",
+        help="write the JSON report here (e.g. BENCH_9.json)",
     )
     p_perf.add_argument(
         "--repeats", type=int, default=5,
@@ -445,6 +521,11 @@ def main(argv: "list[str] | None" = None) -> int:
         help="exit non-zero unless the budget ladder beats per-budget "
         "evaluation by at least X on some window kernel's full budget "
         "column",
+    )
+    p_perf.add_argument(
+        "--max-supervision-overhead", type=float, default=None, metavar="F",
+        help="exit non-zero when the supervised warm grid is more than "
+        "this fraction slower than --no-supervise (e.g. 0.03 = 3%%)",
     )
     p_perf.add_argument(
         "--compare", nargs=2, default=None, metavar=("OLD.json", "NEW.json"),
@@ -503,6 +584,23 @@ def main(argv: "list[str] | None" = None) -> int:
         help="list the available checks and exit",
     )
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_cache = sub.add_parser(
+        "cache", help="result-cache maintenance (fsck)"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_fsck = cache_sub.add_parser(
+        "fsck",
+        help="scan a cache directory: decode, checksum and round-trip "
+        "every entry, report damaged entries and orphaned tmp files",
+    )
+    p_fsck.add_argument("dir", help="the cache directory to scan")
+    p_fsck.add_argument(
+        "--repair", action="store_true",
+        help="move corrupt entries to quarantine/ and delete orphaned "
+        "tmp files (scan-only by default; exit 0 after repair)",
+    )
+    p_fsck.set_defaults(func=_cmd_cache_fsck)
 
     p_list = sub.add_parser("list", help="list kernels and allocators")
     p_list.set_defaults(func=_cmd_list)

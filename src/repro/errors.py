@@ -39,3 +39,20 @@ class SynthesisError(ReproError):
 
 class BindingError(ReproError):
     """Array-to-RAM binding failed (e.g. more arrays than RAM blocks)."""
+
+
+class SweepInterrupted(ReproError):
+    """A sweep was interrupted (Ctrl-C) after flushing completed points.
+
+    ``done``/``total`` report how much of the sweep is already in the
+    cache — rerunning the same command with ``--resume`` picks up where
+    this run stopped.
+    """
+
+    def __init__(self, done: int, total: int, message: "str | None" = None):
+        self.done = done
+        self.total = total
+        super().__init__(
+            message
+            or f"sweep interrupted — resumable: {done}/{total} points done"
+        )

@@ -45,7 +45,11 @@ from repro.explore.batch import (
     verify_ladder_equivalence,
     verify_trace_equivalence,
 )
-from repro.explore.cache import CacheCorruptionWarning, ResultCache
+from repro.explore.cache import (
+    CacheCorruptionWarning,
+    FsckReport,
+    ResultCache,
+)
 from repro.explore.context import (
     EvalContext,
     process_context,
@@ -58,6 +62,13 @@ from repro.explore.evaluate import (
     evaluate_query_safe,
 )
 from repro.explore.executor import Executor, ExploreStats, run_queries
+from repro.explore.faults import (
+    FaultPlan,
+    InjectedCrash,
+    WorkerLost,
+    WouldHang,
+    parse_fault_spec,
+)
 from repro.explore.query import DesignQuery, DesignRecord, LatencySpec
 from repro.explore.results import ResultSet
 from repro.explore.schedule import (
@@ -68,6 +79,11 @@ from repro.explore.schedule import (
 )
 from repro.explore.shard import parse_shard, shard_index, shard_queries
 from repro.explore.space import ExplorationSpace
+from repro.explore.supervise import (
+    DeadlinePolicy,
+    RetryPolicy,
+    SupervisedDriver,
+)
 from repro.explore.versions import (
     VersionRegistry,
     default_registry,
@@ -79,16 +95,24 @@ __all__ = [
     "BatchMismatch",
     "CacheCorruptionWarning",
     "CostModel",
+    "DeadlinePolicy",
     "DesignQuery",
     "DesignRecord",
     "EvalContext",
     "ExplorationSpace",
     "Executor",
     "ExploreStats",
+    "FaultPlan",
+    "FsckReport",
+    "InjectedCrash",
     "LatencySpec",
     "ResultCache",
     "ResultSet",
+    "RetryPolicy",
+    "SupervisedDriver",
     "VersionRegistry",
+    "WorkerLost",
+    "WouldHang",
     "code_version",
     "compare_batched",
     "compare_ladder",
@@ -97,6 +121,7 @@ __all__ = [
     "evaluate_query",
     "evaluate_query_safe",
     "iteration_classes",
+    "parse_fault_spec",
     "parse_shard",
     "plan_chunks",
     "plan_chunks_by_kernel",

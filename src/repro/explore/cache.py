@@ -4,7 +4,10 @@ Layout (one JSON file per design point)::
 
     <root>/
       <query_digest>.json    # {"format", "versions", "query", "record",
-                             #  "seconds", "trace_engine", "batch"}
+                             #  "seconds", "trace_engine", "batch",
+                             #  "checksum"}
+      quarantine/            # damaged entries moved aside, kept for
+                             # post-mortem, never read as entries
 
 ``seconds`` is the point's measured evaluation wall time — envelope
 bookkeeping (like ``versions``), not part of the record's identity: it
@@ -23,34 +26,102 @@ Each entry is keyed by the query's content digest and guarded by the
 pair must still match the current source tree, so an edit anywhere in a
 point's dependency cone makes exactly that point stale — and an edit
 outside it (``codegen/``, ``bench/``, another kernel's builder) leaves
-the entry valid.  Writes are atomic (temp file + rename) so concurrent
-sweeps sharing a cache directory cannot corrupt entries.
+the entry valid.  Writes are atomic (temp file + rename, optionally
+fsync'd before the rename) so concurrent sweeps sharing a cache
+directory cannot corrupt entries.
 
-Damaged entries (truncated writes, garbage bytes, schema drift) are
-treated as misses but *surfaced*: a :class:`CacheCorruptionWarning`
-names the offending path instead of silently re-evaluating.
+**Integrity**: every entry carries a sha256 ``checksum`` over its own
+canonical JSON, so bit rot and torn writes are detected even when the
+damage still parses.  Damaged entries (truncated writes, garbage bytes,
+schema drift, checksum mismatch) are treated as misses but *moved
+aside* into ``quarantine/`` — a :class:`CacheCorruptionWarning` names
+the path, the re-evaluated point overwrites cleanly, and the damaged
+bytes survive for inspection.  :meth:`ResultCache.fsck` scans the whole
+directory offline (CLI: ``repro cache fsck [--repair]``);
+:meth:`ResultCache.reap_tmp` deletes ``.*.tmp`` files orphaned by
+workers that died between write and rename, which the executor calls at
+every sweep start.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
+import time
 import warnings
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ReproError
 from repro.explore.query import DesignQuery, DesignRecord
 from repro.explore.versions import VersionRegistry, default_registry, query_vector
 
-__all__ = ["ResultCache", "CacheCorruptionWarning", "ENTRY_FORMAT"]
+__all__ = [
+    "ResultCache",
+    "CacheCorruptionWarning",
+    "ENTRY_FORMAT",
+    "FsckReport",
+]
 
 #: Schema version of cache entries; bump on incompatible layout changes.
-ENTRY_FORMAT = 2
+#: Format 3 added the entry-envelope ``checksum``.
+ENTRY_FORMAT = 3
+
+#: Subdirectory damaged entries are moved into (never read as entries).
+QUARANTINE_DIR = "quarantine"
+
+#: Default age (seconds) past which an orphaned ``.*.tmp`` file is
+#: considered dead rather than a concurrent shard's in-flight write.
+TMP_MAX_AGE = 60.0
 
 
 class CacheCorruptionWarning(UserWarning):
-    """A cache entry existed but could not be decoded."""
+    """A cache entry existed but could not be decoded or verified."""
+
+
+def _entry_checksum(doc: dict) -> str:
+    """sha256 over the entry's canonical JSON, minus the checksum itself."""
+    body = {key: value for key, value in doc.items() if key != "checksum"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class FsckReport:
+    """What :meth:`ResultCache.fsck` found (and, with repair, did).
+
+    ``corrupt`` and ``tmp`` are the offending paths; ``quarantined`` /
+    ``reaped`` count repair actions actually taken (0 on a scan-only
+    pass).
+    """
+
+    scanned: int
+    ok: int
+    stale_format: int
+    corrupt: "tuple[str, ...]"
+    tmp: "tuple[str, ...]"
+    quarantined: int = 0
+    reaped: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt and not self.tmp
+
+    def summary(self) -> str:
+        text = (
+            f"{self.scanned} entries: {self.ok} ok, "
+            f"{self.stale_format} stale format, "
+            f"{len(self.corrupt)} corrupt, "
+            f"{len(self.tmp)} orphaned tmp"
+        )
+        if self.quarantined or self.reaped:
+            text += (
+                f"; repaired: {self.quarantined} quarantined, "
+                f"{self.reaped} tmp reaped"
+            )
+        return text
 
 
 class ResultCache:
@@ -73,14 +144,23 @@ class ResultCache:
       stale results as current.  Recording the as-loaded hashes keeps
       those entries stale until a fresh process re-evaluates them with
       the new code.
+
+    ``fsync=True`` additionally fsyncs each entry before the atomic
+    rename, so a machine crash cannot publish a half-flushed entry —
+    off by default (the checksum catches torn writes either way, at
+    read time instead of write time).
     """
 
     def __init__(
-        self, root: "Path | str", registry: "VersionRegistry | None" = None
+        self,
+        root: "Path | str",
+        registry: "VersionRegistry | None" = None,
+        fsync: bool = False,
     ):
         self.root = Path(root)
         self.registry = registry or VersionRegistry()
         self._put_registry = registry or default_registry()
+        self.fsync = fsync
 
     def refresh(self) -> None:
         """Re-read the source tree for subsequent lookups.
@@ -98,26 +178,45 @@ class ResultCache:
     def path_for(self, query: DesignQuery) -> Path:
         return self.root / f"{query.digest()}.json"
 
+    def _quarantine(self, path: Path) -> "Path | None":
+        """Move a damaged entry into ``quarantine/``; None if that failed."""
+        target_dir = self.root / QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            target = target_dir / path.name
+            os.replace(path, target)
+            return target
+        except OSError:
+            return None
+
     def lookup(self, query: DesignQuery) -> "tuple[DesignRecord | None, str]":
         """``(record, status)`` with status in hit/miss/stale/corrupt.
 
         * ``miss`` — no entry on disk;
-        * ``corrupt`` — an entry exists but cannot be decoded (warned);
+        * ``corrupt`` — an entry exists but cannot be decoded or fails
+          its checksum (warned, moved to ``quarantine/``);
         * ``stale`` — decodes, but some module in its recorded version
           vector has changed (or the entry predates vector keying);
-        * ``hit`` — decodes and every recorded module hash still matches.
+        * ``hit`` — decodes, verifies, and every recorded module hash
+          still matches.
         """
         path = self.path_for(query)
         try:
-            raw = path.read_text()
+            raw = path.read_bytes()
         except OSError:
             return None, "miss"
         try:
-            doc = json.loads(raw)
+            # UnicodeDecodeError is a ValueError: a torn write that is
+            # no longer UTF-8 lands in the corrupt branch below.
+            doc = json.loads(raw.decode("utf-8"))
             if not isinstance(doc, dict):
                 raise TypeError("entry is not a JSON object")
             if doc.get("format") != ENTRY_FORMAT:
                 return None, "stale"
+            if doc.get("checksum") != _entry_checksum(doc):
+                raise ValueError(
+                    "entry checksum mismatch (torn write or bit rot)"
+                )
             versions = doc["versions"]
             if not isinstance(versions, dict):
                 raise TypeError("entry's version vector is not an object")
@@ -126,8 +225,10 @@ class ResultCache:
             if isinstance(seconds, (int, float)):
                 record = dataclasses.replace(record, seconds=float(seconds))
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            moved = self._quarantine(path)
+            where = f" (moved to {moved})" if moved else ""
             warnings.warn(
-                f"ignoring corrupted cache entry {path}: {exc}",
+                f"quarantined corrupted cache entry {path}{where}: {exc}",
                 CacheCorruptionWarning,
                 stacklevel=2,
             )
@@ -182,19 +283,122 @@ class ResultCache:
             doc["trace_engine"] = trace_engine
         if batch is not None:
             doc["batch"] = bool(batch)
+        doc["checksum"] = _entry_checksum(doc)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(doc, indent=2, sort_keys=True))
+        if self.fsync:
+            with open(tmp, "w") as handle:
+                handle.write(json.dumps(doc, indent=2, sort_keys=True))
+                handle.flush()
+                os.fsync(handle.fileno())
+        else:
+            tmp.write_text(json.dumps(doc, indent=2, sort_keys=True))
         os.replace(tmp, path)
         return path
+
+    def reap_tmp(self, max_age: float = TMP_MAX_AGE) -> int:
+        """Delete orphaned ``.*.tmp`` files older than ``max_age`` seconds.
+
+        A worker that dies between write and rename leaves its tmp file
+        behind; anything younger than ``max_age`` may be a concurrent
+        shard's in-flight write and is left alone.  Returns how many
+        files were deleted.
+        """
+        if not self.root.is_dir():
+            return 0
+        cutoff = time.time() - max_age
+        reaped = 0
+        for tmp in list(self.root.glob(".*.tmp")):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+                    reaped += 1
+            except OSError:
+                continue
+        return reaped
+
+    def _verify(self, path: Path) -> "str | None":
+        """Why ``path`` is not a valid current-format entry (None if ok)."""
+        try:
+            doc = json.loads(path.read_text())
+            if not isinstance(doc, dict):
+                raise TypeError("entry is not a JSON object")
+            if doc.get("format") != ENTRY_FORMAT:
+                return "stale-format"
+            if doc.get("checksum") != _entry_checksum(doc):
+                raise ValueError("checksum mismatch")
+            if not isinstance(doc.get("versions"), dict):
+                raise TypeError("version vector is not an object")
+            DesignRecord.from_dict(doc["record"])
+        except OSError:
+            return "stale-format"  # vanished mid-scan: not this scan's problem
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return "corrupt"
+        return None
+
+    def fsck(
+        self, repair: bool = False, tmp_max_age: float = TMP_MAX_AGE
+    ) -> FsckReport:
+        """Scan every entry: decode, checksum, record round-trip.
+
+        With ``repair=True``, corrupt entries are moved to
+        ``quarantine/`` and orphaned tmp files older than
+        ``tmp_max_age`` are deleted.  Stale-format entries (older
+        schema versions) are reported but left in place — they are
+        harmless misses, and deleting them is ``clear()``'s job.
+        """
+        scanned = ok = stale_format = 0
+        corrupt: list[str] = []
+        tmp: list[str] = []
+        quarantined = reaped = 0
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("*.json")):
+                scanned += 1
+                problem = self._verify(path)
+                if problem is None:
+                    ok += 1
+                elif problem == "stale-format":
+                    stale_format += 1
+                else:
+                    corrupt.append(str(path))
+                    if repair and self._quarantine(path) is not None:
+                        quarantined += 1
+            cutoff = time.time() - tmp_max_age
+            for orphan in sorted(self.root.glob(".*.tmp")):
+                try:
+                    if orphan.stat().st_mtime >= cutoff:
+                        continue
+                except OSError:
+                    continue
+                tmp.append(str(orphan))
+                if repair:
+                    try:
+                        orphan.unlink()
+                        reaped += 1
+                    except OSError:
+                        continue
+        return FsckReport(
+            scanned=scanned,
+            ok=ok,
+            stale_format=stale_format,
+            corrupt=tuple(corrupt),
+            tmp=tuple(tmp),
+            quarantined=quarantined,
+            reaped=reaped,
+        )
 
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.rglob("*.json"))
+        quarantine = self.root / QUARANTINE_DIR
+        return sum(
+            1 for path in self.root.rglob("*.json")
+            if quarantine not in path.parents
+        )
 
     def clear(self) -> int:
         """Delete every entry (including legacy per-version
-        subdirectory entries from format-1 caches); returns how many."""
+        subdirectory entries from format-1 caches and quarantined
+        ones); returns how many."""
         removed = 0
         if self.root.is_dir():
             for path in self.root.rglob("*.json"):

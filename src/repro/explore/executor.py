@@ -7,7 +7,7 @@ evaluate the missing points.  ``jobs=1`` runs inline in the calling
 process — same results, no pool, and the mode the adapters in
 :mod:`repro.bench` default to.
 
-Three properties make sweeps production-shaped:
+Four properties make sweeps production-shaped:
 
 * **fault tolerance** — every point evaluates through
   :func:`~repro.explore.evaluate.evaluate_query_safe`, so an unexpected
@@ -16,6 +16,16 @@ Three properties make sweeps production-shaped:
   and discarding completed-but-unconsumed results.  Completed points
   still reach the cache; crash records are deliberately *not* cached,
   so a resumed run retries them.
+* **supervision** — by default the drive loop is the
+  :class:`~repro.explore.supervise.SupervisedDriver`: per-point
+  deadlines from the cost model, deterministic retries with backoff,
+  poison-point quarantine, broken-pool recovery (workers terminated,
+  pool rebuilt, in-flight points requeued) and graceful degradation to
+  inline evaluation after repeated breakage.  ``supervise=False``
+  (CLI: ``--no-supervise``) restores the bare loop; the happy path is
+  bit-identical either way.  A cache-write hitting ``ENOSPC``/``EROFS``
+  flips the sweep to read-only-cache mode with one warning — the sweep
+  still completes and a later ``--resume`` heals the cache.
 * **cost-model scheduling** — pending points are packed into balanced
   chunks by longest-processing-time-first over per-point cost estimates
   (:mod:`repro.explore.schedule`), fitted from cached timings with
@@ -34,13 +44,16 @@ re-evaluates only the points whose dependency cone changed, and
 
 from __future__ import annotations
 
+import errno
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SweepInterrupted
+from repro.explore import faults as faults_mod
 from repro.explore.cache import ResultCache
 from repro.explore.context import EvalContext
 from repro.explore.evaluate import evaluate_query_safe
@@ -49,6 +62,11 @@ from repro.explore.results import ResultSet
 from repro.explore.schedule import CostModel, plan_chunks, plan_chunks_by_kernel
 from repro.explore.shard import parse_shard, shard_queries
 from repro.explore.space import ExplorationSpace
+from repro.explore.supervise import (
+    DeadlinePolicy,
+    RetryPolicy,
+    SupervisedDriver,
+)
 
 __all__ = ["Executor", "ExploreStats", "run_queries"]
 
@@ -60,7 +78,17 @@ class ExploreStats:
     ``failures`` counts domain-infeasible points (expected, cached);
     ``errors`` counts crashed points (unexpected worker exceptions,
     never cached); ``corrupt`` counts cache entries that existed but
-    could not be decoded (each also warned as it was read).
+    could not be decoded or failed their checksum (each is moved to the
+    cache's ``quarantine/`` directory and warned as it is read).
+
+    ``quarantined`` counts poison points: points that kept failing
+    (crash, lost worker, expired deadline) past the retry budget and
+    were given up on — their records carry ``quarantined=True`` and are
+    never cached, so a resume retries them.  ``retries`` counts every
+    attributed failure that *was* retried; ``pool_breaks`` counts
+    worker-pool teardown/rebuild events (0 on any jobs=1 run).
+    ``cache_read_only`` reports that a cache write hit ``ENOSPC`` /
+    ``EROFS`` and the sweep finished without writing further entries.
 
     ``stage_seconds`` aggregates the evaluated points' per-stage wall
     times (kernel build / allocation / DFG+coverage / trace engine /
@@ -80,6 +108,10 @@ class ExploreStats:
     stale: int = 0
     corrupt: int = 0
     errors: int = 0
+    quarantined: int = 0
+    retries: int = 0
+    pool_breaks: int = 0
+    cache_read_only: bool = False
     stage_seconds: "dict[str, float]" = field(default_factory=dict)
 
     @property
@@ -87,13 +119,21 @@ class ExploreStats:
         return self.cache_hits / self.total if self.total else 0.0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.total} points: {self.evaluated} evaluated, "
             f"{self.cache_hits} cache hits ({self.hit_rate:.0%}), "
             f"{self.stale} stale, {self.corrupt} corrupt, "
             f"{self.failures} infeasible, {self.errors} crashed, "
+            f"{self.quarantined} quarantined, "
             f"{self.seconds:.2f}s"
         )
+        if self.retries:
+            text += f", {self.retries} retried"
+        if self.pool_breaks:
+            text += f", {self.pool_breaks} pool rebuilds"
+        if self.cache_read_only:
+            text += " [read-only cache]"
+        return text
 
     #: Human labels for the profile breakdown, in pipeline order.
     STAGE_LABELS = (
@@ -195,6 +235,26 @@ class Executor:
         ``(index, count)`` or ``"index/count"``: evaluate only this
         run's digest-stable share of the space (1-based).  None (the
         default) runs the whole space.
+    supervise:
+        Drive evaluation through the
+        :class:`~repro.explore.supervise.SupervisedDriver` (the
+        default): deadlines, retries, quarantine, pool recovery.
+        ``False`` (CLI: ``--no-supervise``) restores the bare drive
+        loop — bit-identical on the happy path, but a broken pool
+        aborts the sweep again.
+    retry / deadlines:
+        The supervision policies
+        (:class:`~repro.explore.supervise.RetryPolicy`,
+        :class:`~repro.explore.supervise.DeadlinePolicy`); None uses
+        the defaults (2 retries, generous deadlines that only catch
+        outright hangs).
+    faults:
+        A :class:`~repro.explore.faults.FaultPlan` to inject
+        deterministic failures (testing/chaos only; requires
+        supervision).  None — the default — injects nothing.
+    pool_break_limit:
+        Pool teardown/rebuild events tolerated before the sweep
+        degrades to in-process serial evaluation of the remainder.
     """
 
     def __init__(
@@ -208,6 +268,11 @@ class Executor:
         shard: "tuple[int, int] | str | None" = None,
         trace_engine: str = "array",
         ladder: bool = True,
+        supervise: bool = True,
+        retry: "RetryPolicy | None" = None,
+        deadlines: "DeadlinePolicy | None" = None,
+        faults: "faults_mod.FaultPlan | None" = None,
+        pool_break_limit: int = 6,
     ):
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
@@ -220,6 +285,11 @@ class Executor:
                 f"unknown trace engine {trace_engine!r}; expected one of "
                 f"{TRACE_ENGINES}"
             )
+        if faults is not None and not supervise:
+            raise ReproError(
+                "fault injection requires supervision; drop faults or "
+                "drop supervise=False"
+            )
         self.jobs = jobs
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
@@ -231,6 +301,15 @@ class Executor:
         self.trace_engine = trace_engine
         self.ladder = ladder
         self.shard = parse_shard(shard) if shard is not None else None
+        self.supervise = supervise
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.deadlines = (
+            deadlines if deadlines is not None else DeadlinePolicy()
+        )
+        self.faults = faults
+        self.pool_break_limit = pool_break_limit
+        self._cache_read_only = False
+        self._driver: "SupervisedDriver | None" = None
 
     def run(
         self,
@@ -243,6 +322,12 @@ class Executor:
         returned; the other shards' points are simply absent from the
         result (not failures), so a shared cache accumulates the full
         space across machines.
+
+        A ``KeyboardInterrupt`` mid-sweep is converted into
+        :class:`~repro.errors.SweepInterrupted` after completed records
+        (including any salvaged from already-finished workers) have
+        been flushed to the cache — the message reports how much of the
+        sweep is resumable.
         """
         if isinstance(space, ExplorationSpace):
             queries: Sequence[DesignQuery] = space.expand()
@@ -251,6 +336,8 @@ class Executor:
         if self.shard is not None:
             queries = shard_queries(queries, *self.shard)
         started = time.perf_counter()
+        self._cache_read_only = False
+        self._driver = None
 
         records: dict[int, DesignRecord] = {}
         hits = 0
@@ -258,10 +345,16 @@ class Executor:
         corrupt = 0
         pending: list[tuple[int, DesignQuery]] = []
         timings: list[tuple[DesignQuery, float]] = []
-        if self.cache is not None and self.reuse_cache:
-            # Observe any source edits made since the previous run, even
-            # when this executor instance is reused in one process.
-            self.cache.refresh()
+        if self.cache is not None:
+            if self.reuse_cache:
+                # Observe any source edits made since the previous run,
+                # even when this executor instance is reused in one
+                # process.
+                self.cache.refresh()
+            # Reap tmp files orphaned by workers that died mid-write in
+            # an *earlier* run; anything younger may be a concurrent
+            # shard's in-flight write.
+            self.cache.reap_tmp()
         for index, query in enumerate(queries):
             cached = None
             if self.cache is not None and self.reuse_cache:
@@ -279,40 +372,100 @@ class Executor:
         done = len(records)
         if progress:
             progress(done, len(queries))
-        for index, record in self._evaluate(pending, timings):
-            records[index] = record
-            # Crash records are never cached: the failure may be
-            # transient (OOM, a since-fixed bug), so resumes retry them.
-            # Truncated exact-search records are not cached either — an
-            # anytime incumbent under a node/time box is not the point's
-            # exact answer, and a resume with a bigger box must re-run.
-            if self.cache is not None and not record.crash and (
-                not record.truncated
-            ):
-                self.cache.put(
-                    record, trace_engine=self.trace_engine, batch=self.batch
-                )
-            done += 1
-            if progress:
-                progress(done, len(queries))
+        # The inline path (jobs=1, and the degraded remainder of a
+        # jobs>1 run) reads the process-global fault plan; install it
+        # for the duration of the drive and restore whatever was there.
+        previous_plan = faults_mod.active_fault_plan()
+        if self.faults is not None:
+            faults_mod.install_fault_plan(self.faults)
+        try:
+            for index, record in self._evaluate(pending, timings):
+                records[index] = record
+                self._store(record)
+                done += 1
+                if progress:
+                    progress(done, len(queries))
+        except KeyboardInterrupt:
+            raise SweepInterrupted(done=done, total=len(queries)) from None
+        finally:
+            if self.faults is not None:
+                faults_mod.install_fault_plan(previous_plan)
 
         ordered = tuple(records[i] for i in range(len(queries)))
         stage_seconds: dict[str, float] = {}
         for record in ordered:
             for stage, spent in (record.stages or {}).items():
                 stage_seconds[stage] = stage_seconds.get(stage, 0.0) + spent
+        driver = self._driver
         stats = ExploreStats(
             total=len(queries),
             evaluated=len(pending),
             cache_hits=hits,
-            failures=sum(1 for r in ordered if not r.ok and not r.crash),
+            failures=sum(
+                1 for r in ordered
+                if not r.ok and not r.crash and not r.quarantined
+            ),
             seconds=time.perf_counter() - started,
             stale=stale,
             corrupt=corrupt,
             errors=sum(1 for r in ordered if r.crash),
+            quarantined=sum(1 for r in ordered if r.quarantined),
+            retries=driver.retries if driver is not None else 0,
+            pool_breaks=driver.pool_breaks if driver is not None else 0,
+            cache_read_only=self._cache_read_only,
             stage_seconds=stage_seconds,
         )
         return ResultSet(ordered, stats)
+
+    def _store(self, record: DesignRecord) -> None:
+        """Cache one completed record, honouring the no-cache rules.
+
+        Crash records are never cached: the failure may be transient
+        (OOM, a since-fixed bug), so resumes retry them.  Quarantined
+        records are poison-point giveups — same reasoning.  Truncated
+        exact-search records are not cached either — an anytime
+        incumbent under a node/time box is not the point's exact
+        answer, and a resume with a bigger box must re-run.
+
+        A write that hits a full (``ENOSPC``) or read-only (``EROFS``)
+        filesystem flips the sweep into read-only-cache mode: one
+        warning, no further writes, the sweep completes and a later
+        ``--resume`` heals the cache.
+        """
+        if (
+            self.cache is None
+            or self._cache_read_only
+            or record.crash
+            or record.truncated
+            or record.quarantined
+        ):
+            return
+        kind = (
+            self.faults.cache_fault(record.query)
+            if self.faults is not None else None
+        )
+        try:
+            if kind == "enospc":
+                raise OSError(
+                    errno.ENOSPC, "injected fault: no space left on device"
+                )
+            self.cache.put(
+                record, trace_engine=self.trace_engine, batch=self.batch
+            )
+            if kind == "corrupt-write":
+                faults_mod.corrupt_entry(self.cache.path_for(record.query))
+        except OSError as error:
+            if error.errno in (errno.ENOSPC, errno.EROFS):
+                self._cache_read_only = True
+                warnings.warn(
+                    f"cache write failed ({error.strerror or error}); "
+                    f"continuing with a read-only cache — completed "
+                    f"points from here on are not persisted and a "
+                    f"later --resume will re-evaluate them",
+                    stacklevel=2,
+                )
+            else:
+                raise
 
     def _evaluate(
         self,
@@ -321,6 +474,41 @@ class Executor:
     ) -> "Iterable[tuple[int, DesignRecord]]":
         if not pending:
             return
+        if not self.supervise:
+            yield from self._evaluate_bare(pending, timings)
+            return
+        model = self._cost_model(timings)
+        if model.observations:
+            estimate = model.estimate
+        else:
+            # An unfitted model estimates in relative prior units, not
+            # seconds — useless for deadlines; fall back to the ceiling.
+            estimate = lambda query: None  # noqa: E731
+        driver = SupervisedDriver(
+            jobs=self.jobs,
+            batch=self.batch,
+            context=self.context,
+            trace_engine=self.trace_engine,
+            ladder=self.ladder,
+            retry=self.retry,
+            deadlines=self.deadlines,
+            plan=self.faults,
+            estimate=estimate,
+            pool_break_limit=self.pool_break_limit,
+        )
+        self._driver = driver
+        chunks = (
+            None if self.jobs == 1
+            else self._plan(pending, timings, model=model)
+        )
+        yield from driver.drive(pending, chunks)
+
+    def _evaluate_bare(
+        self,
+        pending: "list[tuple[int, DesignQuery]]",
+        timings: "list[tuple[DesignQuery, float]] | None" = None,
+    ) -> "Iterable[tuple[int, DesignRecord]]":
+        """The unsupervised drive loop (``--no-supervise``)."""
         if self.jobs == 1:
             for index, query in pending:
                 yield index, evaluate_query_safe(
@@ -351,20 +539,40 @@ class Executor:
                     for (index, _), record in zip(chunk, future.result()):
                         yield index, record
 
+    def _cost_model(
+        self,
+        timings: "list[tuple[DesignQuery, float]] | None" = None,
+    ) -> CostModel:
+        """The per-point cost model, fitted from this run's hit timings.
+
+        Key the model's preference to this run's engine: timings
+        produced by the other engine still inform estimates (fallback)
+        but never masquerade as same-engine observations.  Cache-hit
+        timings carry no engine provenance at this layer; they are
+        observed as engine-unknown.  A run with no hits at all pays a
+        directory scan to learn from the cache instead.
+        """
+        model = CostModel(trace_engine=self.trace_engine)
+        for query, seconds in timings or ():
+            model.observe(query, seconds)
+        if model.observations == 0:
+            model = CostModel.from_cache(
+                self.cache, trace_engine=self.trace_engine
+            )
+        return model
+
     def _plan(
         self,
         pending: "list[tuple[int, DesignQuery]]",
         timings: "list[tuple[DesignQuery, float]] | None" = None,
+        model: "CostModel | None" = None,
     ) -> "list[list[tuple[int, DesignQuery]]]":
         """Chunk the pending points for the pool.
 
         An explicit ``chunksize`` keeps the legacy fixed consecutive
         split; otherwise the cost model packs about four balanced
         chunks per job so one expensive point cannot serialize a sweep
-        behind it.  The model fits from the timings this run's cache
-        hits already decoded (zero extra I/O); only a run with no hits
-        at all — e.g. one shard of a space whose siblings populated a
-        shared cache — pays a directory scan to learn from them.
+        behind it.
 
         With the evaluation context enabled, chunks are packed
         **kernel-major** (:func:`plan_chunks_by_kernel`): one kernel's
@@ -378,18 +586,8 @@ class Executor:
             return [
                 pending[i : i + size] for i in range(0, len(pending), size)
             ]
-        # Key the model's preference to this run's engine: timings
-        # produced by the other engine still inform estimates (fallback)
-        # but no longer masquerade as same-engine observations.
-        model = CostModel(trace_engine=self.trace_engine)
-        for query, seconds in timings or ():
-            # Cache-hit timings carry no engine provenance at this
-            # layer; they are observed as engine-unknown.
-            model.observe(query, seconds)
-        if model.observations == 0:
-            model = CostModel.from_cache(
-                self.cache, trace_engine=self.trace_engine
-            )
+        if model is None:
+            model = self._cost_model(timings)
         bins = min(len(pending), self.jobs * 4)
         cost = lambda item: model.estimate(item[1])  # noqa: E731
         if self.context:
@@ -412,10 +610,15 @@ def run_queries(
     shard: "tuple[int, int] | str | None" = None,
     trace_engine: str = "array",
     ladder: bool = True,
+    supervise: bool = True,
+    retry: "RetryPolicy | None" = None,
+    deadlines: "DeadlinePolicy | None" = None,
+    faults: "faults_mod.FaultPlan | None" = None,
 ) -> ResultSet:
     """One-call convenience wrapper around :class:`Executor`."""
     return Executor(
         jobs=jobs, cache=cache, reuse_cache=reuse_cache, batch=batch,
         context=context, shard=shard, trace_engine=trace_engine,
-        ladder=ladder,
+        ladder=ladder, supervise=supervise, retry=retry,
+        deadlines=deadlines, faults=faults,
     ).run(queries)

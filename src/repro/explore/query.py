@@ -365,6 +365,15 @@ class DesignRecord:
     #: the true optimum).  Truncated records are never cached.
     certified: "bool | None" = None
     opt_lower_bound: "int | None" = None
+    #: True for a poison point: it kept failing (crash, lost worker,
+    #: expired deadline) past the retry budget and the supervisor gave
+    #: up on it.  Quarantined records are never cached, so a resume
+    #: retries the point.
+    quarantined: bool = False
+    #: How many evaluation attempts this record took (None = untracked,
+    #: i.e. an unsupervised run).  Bookkeeping like ``seconds``:
+    #: excluded from equality and from :meth:`to_dict`.
+    attempts: "int | None" = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -477,6 +486,8 @@ class DesignRecord:
             doc["error_type"] = self.error_type
             if self.traceback is not None:
                 doc["traceback"] = self.traceback
+            if self.quarantined:
+                doc["quarantined"] = True
             return doc
         for name in METRIC_FIELDS:
             doc[name] = getattr(self, name)
@@ -502,6 +513,7 @@ class DesignRecord:
                 error=doc["error"],
                 error_type=doc.get("error_type"),
                 traceback=doc.get("traceback"),
+                quarantined=bool(doc.get("quarantined", False)),
             )
         return DesignRecord(
             query=query,

@@ -158,6 +158,9 @@ class ResultSet:
                 "stale": self.stats.stale,
                 "corrupt": self.stats.corrupt,
                 "errors": self.stats.errors,
+                "quarantined": self.stats.quarantined,
+                "retries": self.stats.retries,
+                "pool_breaks": self.stats.pool_breaks,
             }
         return json.dumps(doc, indent=indent)
 

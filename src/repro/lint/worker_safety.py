@@ -20,6 +20,11 @@ shared.  This check flags the constructs that break either property:
     A module-level mutable container (dict/list/set) that functions in
     the same cone module mutate: each worker mutates its own copy, so
     results can depend on which worker evaluated which points.
+``no-bare-except``
+    A bare ``except:`` in a module that drives process pools: it
+    swallows ``BaseException`` — including ``KeyboardInterrupt`` and
+    the pool's own teardown exceptions — so a dying worker or an
+    interrupt can be silently eaten instead of recovered from.
 """
 
 from __future__ import annotations
@@ -68,6 +73,23 @@ def _nested_defs(tree: ast.Module) -> set[str]:
     return nested
 
 
+#: Module prefixes whose import marks a module as pool-driving.
+_POOL_MODULES = ("concurrent.futures", "multiprocessing")
+
+
+def _drives_pools(tree: ast.Module) -> bool:
+    """Whether a module imports pool machinery or submits to a pool."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith(_POOL_MODULES):
+                    return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.startswith(_POOL_MODULES):
+                return True
+    return any(True for _ in _pool_submissions(tree))
+
+
 def _pool_submissions(tree: ast.Module):
     """``(call node, submitted callable)`` for pool submit/map calls."""
     for node in ast.walk(tree):
@@ -87,6 +109,8 @@ def check_worker_safety(context: LintContext) -> Iterable[Finding]:
     cone = context.cone()
     for name, unit in context.units().items():
         yield from _check_submissions(context, unit)
+        if _drives_pools(unit.tree):
+            yield from _check_bare_except(context, unit)
         if name in cone:
             yield from _check_module_state(context, unit)
 
@@ -129,6 +153,25 @@ def _check_submissions(
                 path=path, line=fn.lineno, severity="warning",
                 hint="submit a module-level function taking explicit "
                 "arguments",
+            )
+
+
+def _check_bare_except(
+    context: LintContext, unit: ModuleUnit
+) -> Iterable[Finding]:
+    path = context.relpath(unit)
+    for node in ast.walk(unit.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield Finding(
+                check="worker-safety", code="no-bare-except",
+                message=(
+                    "bare 'except:' in a pool-driving module swallows "
+                    "BaseException — including KeyboardInterrupt and the "
+                    "pool's own teardown errors — so a dying worker or "
+                    "an interrupt can be silently eaten"
+                ),
+                path=path, line=node.lineno,
+                hint="catch 'Exception' (or the specific error) instead",
             )
 
 

@@ -1,0 +1,18 @@
+"""Positive example: bare ``except:`` in a pool-driving module."""
+
+import concurrent.futures
+
+
+def drain(pool, work):
+    futures = [pool.submit(drain_one, item) for item in work]
+    results = []
+    for future in concurrent.futures.as_completed(futures):
+        try:
+            results.append(future.result())
+        except:  # noqa: E722 -- the finding under test
+            continue
+    return results
+
+
+def drain_one(item):
+    return item

@@ -197,12 +197,18 @@ class TestCache:
         assert not any("bench" in module for module in versions)
 
     def test_stale_version_vector_misses(self, tmp_path):
+        from repro.explore.cache import _entry_checksum
+
         cache = ResultCache(tmp_path)
         query = self.query()
         path = cache.put(evaluate_query(query))
         doc = json.loads(path.read_text())
         module = sorted(doc["versions"])[0]
         doc["versions"][module] = "0" * 12
+        # Re-stamp the checksum: this simulates a *stale* entry (written
+        # by older code), not a torn write — the envelope must stay
+        # self-consistent or the integrity check fires first.
+        doc["checksum"] = _entry_checksum(doc)
         path.write_text(json.dumps(doc))
         assert cache.lookup(query) == (None, "stale")
 
@@ -215,17 +221,21 @@ class TestCache:
         path = cache.path_for(query)
         entry = path.read_text()
         # garbage bytes, valid-but-wrong-shape JSON, truncation, and a
-        # non-object version vector all warn and miss, never raise
+        # current-format entry with a missing checksum all warn and
+        # miss, never raise
         for garbage in (
             "{not json",
             "[]",
             entry[: len(entry) // 2],
-            '{"format": 2, "versions": "oops", "record": {}}',
+            '{"format": 3, "versions": "oops", "record": {}}',
         ):
             path.write_text(garbage)
             with pytest.warns(CacheCorruptionWarning, match=r"\.json"):
                 record, status = cache.lookup(query)
             assert record is None and status == "corrupt"
+            # The damaged entry was moved aside, not left in place.
+            assert not path.exists()
+            assert (tmp_path / "quarantine" / path.name).exists()
 
     def test_fresh_registry_per_cache_instance(self, tmp_path):
         # A long-lived process must observe source edits made between

@@ -327,11 +327,16 @@ class TestIncrementalResume:
         cache = ResultCache(cache_dir)
         results = Executor(cache=cache).run(self.QUERIES)
         assert results.stats.evaluated == 4
+        from repro.explore.cache import _entry_checksum
+
         tampered = 0
         for entry in cache_dir.glob("*.json"):
             doc = json.loads(entry.read_text())
             if "repro.kernels.fir" in doc["versions"]:
                 doc["versions"]["repro.kernels.fir"] = "0" * 12
+                # Re-stamp the checksum: simulates an entry *written*
+                # with a different fir hash, not a torn write.
+                doc["checksum"] = _entry_checksum(doc)
                 entry.write_text(json.dumps(doc))
                 tampered += 1
         assert tampered == 2
