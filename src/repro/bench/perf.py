@@ -26,13 +26,22 @@ machine-readable ``BENCH_<n>.json`` the repo's perf trajectory tracks:
   supervised execution plane (deadlines/retries/quarantine bookkeeping,
   the default) vs ``--no-supervise``; the happy-path overhead must stay
   in the noise (<3% locally, gated loosely in CI);
+* **imbalance** — a deliberately heterogeneous grid (cheap points, an
+  OPT-RA column, and injected ``slow`` faults pinned on one kernel) at
+  ``jobs=4``, dispatched statically (``stealing=False``, the old
+  plan-then-submit LPT chunks) vs through the work-stealing lease
+  queue; the static packer cannot know about the hidden latency, so it
+  serializes the slow kernel's chunk on one worker while stealing
+  spreads the same points across all four — the headline of the
+  dynamic dispatcher (gated by ``--min-steal-speedup``);
 * **equivalence** — the no-context and context grids are compared
-  record for record; a benchmark that got fast by changing answers
-  fails loudly (``identical`` must be true).
+  record for record, and so are the static and stealing imbalance
+  sweeps; a benchmark that got fast by changing answers fails loudly
+  (``identical`` must be true).
 
 Run it via ``repro perf`` (``--quick`` for the CI smoke grid,
-``--min-speedup X`` / ``--min-trace-speedup X`` to fail below speedup
-floors).  ``repro perf --compare OLD.json NEW.json`` diffs two emitted
+``--min-speedup X`` / ``--min-trace-speedup X`` /
+``--min-steal-speedup X`` to fail below speedup floors).  ``repro perf --compare OLD.json NEW.json`` diffs two emitted
 reports metric by metric — host-independent speedup *ratios* gate the
 comparison (non-zero exit on a regression beyond ``--threshold``),
 absolute seconds print as context.  See ``docs/perf.md``.
@@ -69,8 +78,8 @@ __all__ = [
     "render_compare",
 ]
 
-#: Sequence number of this harness's output file (``BENCH_9.json``).
-BENCH_NUMBER = 9
+#: Sequence number of this harness's output file (``BENCH_10.json``).
+BENCH_NUMBER = 10
 
 #: The Table-1-shaped reference grid: 4 kernels x 5 allocators x 16
 #: budgets = 320 points, matching the acceptance target of the
@@ -92,6 +101,23 @@ SINGLE_POINT = DesignQuery(kernel="pat", allocator="CPA-RA", budget=16)
 #: residency simulation — the subjects of the trace-engine comparison.
 TRACE_KERNELS = ("fir", "pat", "decfir")
 QUICK_TRACE_KERNELS = ("fir", "pat")
+
+#: The imbalance comparison: a heterogeneous mix of cheap allocator
+#: columns, an expensive OPT-RA column, and injected ``slow`` faults
+#: pinned on the kernel with the *smallest* static prior — the one
+#: kernel the kernel-major LPT packer is guaranteed to keep whole in a
+#: single chunk, so static dispatch serializes its hidden latency on
+#: one worker while the lease queue spreads it across all four.
+IMBALANCE_KERNELS = ("fir", "mat", "pat", "bic")
+#: Quick mode drops the kernels the packer would pre-split anyway; the
+#: min-prior kernel must stay whole for the comparison to mean what it
+#: says.
+QUICK_IMBALANCE_KERNELS = ("bic", "pat")
+IMBALANCE_ALLOCATORS = ("NO-SR", "FR-RA")
+IMBALANCE_BUDGETS = (8, 16, 24, 32)
+IMBALANCE_JOBS = 4
+#: Hidden per-point latency injected on the slow kernel (quick, full).
+IMBALANCE_SLOW_SECONDS = (0.25, 0.35)
 
 #: Ratio metrics regress when ``new * threshold < old``; this is the
 #: default ``--threshold`` (loose on purpose: ratios wobble with host
@@ -140,6 +166,11 @@ class PerfReport:
     #: s, "evaluate_ladder": s}: the full budget column per budget vs in
     #: one ladder pass (see :func:`_time_budget_column`).
     budget_column: "dict[str, dict[str, float]]" = field(default_factory=dict)
+    #: The heterogeneous-grid dispatch comparison (empty = unmeasured):
+    #: ``static_s`` / ``steal_s`` wall seconds plus the grid shape, the
+    #: slow-kernel pin, and the stealing run's scheduler counters (see
+    #: :func:`_time_imbalance`).
+    imbalance: "dict[str, object]" = field(default_factory=dict)
 
     @property
     def speedup_cold(self) -> float:
@@ -171,6 +202,15 @@ class PerfReport:
             return 0.0
         return max(self.trace_speedup(k) for k in self.trace_single)
 
+    @property
+    def steal_speedup(self) -> float:
+        """Static / stealing wall time on the imbalance grid (0 unmeasured)."""
+        static_s = float(self.imbalance.get("static_s") or 0.0)
+        steal_s = float(self.imbalance.get("steal_s") or 0.0)
+        if not static_s or not steal_s:
+            return 0.0
+        return static_s / steal_s
+
     def column_speedup(self, kernel: str, level: str = "counts") -> float:
         """Per-budget / ladder on one column level (counts, trace, evaluate)."""
         timings = self.budget_column[kernel]
@@ -187,7 +227,7 @@ class PerfReport:
         grid = perf_grid(self.quick)
         return {
             "bench": BENCH_NUMBER,
-            "name": "budget-ladder evaluation",
+            "name": "work-stealing dispatch",
             "quick": self.quick,
             "grid": {
                 "kernels": list(grid.kernels),
@@ -203,6 +243,12 @@ class PerfReport:
                 "single_point_warm_context": self.single_warm_context,
                 "grid_warm_supervised": self.grid_warm_supervised,
                 "grid_warm_unsupervised": self.grid_warm_unsupervised,
+                "imbalance_static": float(
+                    self.imbalance.get("static_s") or 0.0
+                ),
+                "imbalance_steal": float(
+                    self.imbalance.get("steal_s") or 0.0
+                ),
             },
             "speedup": {
                 "grid_cold_vs_no_context": self.speedup_cold,
@@ -215,7 +261,9 @@ class PerfReport:
                     self.grid_warm_unsupervised / self.grid_warm_supervised
                     if self.grid_warm_supervised else 0.0
                 ),
+                "steal_vs_static_imbalance": self.steal_speedup,
             },
+            "imbalance": dict(self.imbalance, speedup=self.steal_speedup),
             "trace_single": {
                 kernel: {
                     "reference_s": timings["reference"],
@@ -393,6 +441,85 @@ def _time_budget_column(
     return timings
 
 
+def _imbalance_queries(quick: bool) -> "list[DesignQuery]":
+    """The heterogeneous dispatch-comparison grid, in query order."""
+    kernels = QUICK_IMBALANCE_KERNELS if quick else IMBALANCE_KERNELS
+    queries = [
+        DesignQuery(kernel=kernel, allocator=allocator, budget=budget)
+        for kernel in kernels
+        for allocator in IMBALANCE_ALLOCATORS
+        for budget in IMBALANCE_BUDGETS
+    ]
+    opt_kernels = ("pat",) if quick else ("pat", "mat")
+    queries += [
+        DesignQuery(kernel=kernel, allocator="OPT-RA", budget=budget)
+        for kernel in opt_kernels
+        for budget in (8, 16)
+    ]
+    return queries
+
+
+def _time_imbalance(quick: bool) -> "dict[str, object]":
+    """Static LPT chunks vs the work-stealing lease queue at ``jobs=4``.
+
+    The grid mixes cheap allocator columns with an OPT-RA column, then
+    pins a ``slow`` fault on *every* point of the kernel with the
+    smallest static-prior group cost — the one kernel the kernel-major
+    packer keeps whole in a single chunk (its predicted share is far
+    below one chunk's ideal).  The cost model cannot see the injected
+    latency, which is the point: static dispatch commits that kernel to
+    one worker and serializes ``slow_points x slow_seconds`` behind it,
+    while the lease queue hands the same points out one at a time to
+    whichever worker frees up.  Both sweeps run supervised, cache-less
+    and context-on; the returned ``identical`` verdict compares them
+    record for record.
+    """
+    from repro.explore.faults import FaultPlan
+    from repro.explore.schedule import static_cost
+
+    queries = _imbalance_queries(quick)
+    group_cost: dict[str, float] = {}
+    for query in queries:
+        group_cost[query.kernel] = (
+            group_cost.get(query.kernel, 0.0) + static_cost(query)
+        )
+    slow_kernel = min(group_cost.items(), key=lambda kv: (kv[1], kv[0]))[0]
+    slow_queries = [q for q in queries if q.kernel == slow_kernel]
+    slow_seconds = IMBALANCE_SLOW_SECONDS[0] if quick else (
+        IMBALANCE_SLOW_SECONDS[1]
+    )
+    plan = FaultPlan.targeting(
+        "slow", slow_queries, slow_seconds=slow_seconds
+    )
+
+    def sweep(stealing: bool) -> "tuple[float, ResultSet]":
+        executor = Executor(
+            jobs=IMBALANCE_JOBS, context=True, supervise=True,
+            faults=plan, stealing=stealing,
+        )
+        started = time.perf_counter()
+        results = executor.run(list(queries))
+        return time.perf_counter() - started, results
+
+    static_seconds, static = sweep(stealing=False)
+    steal_seconds, stolen = sweep(stealing=True)
+    stats = stolen.stats
+    return {
+        "jobs": IMBALANCE_JOBS,
+        "points": len(queries),
+        "kernels": sorted(group_cost),
+        "slow_kernel": slow_kernel,
+        "slow_points": len(slow_queries),
+        "slow_seconds": slow_seconds,
+        "static_s": static_seconds,
+        "steal_s": steal_seconds,
+        "leases": stats.leases if stats is not None else 0,
+        "steals": stats.steals if stats is not None else 0,
+        "affinity_hits": stats.affinity_hits if stats is not None else 0,
+        "identical": tuple(static) == tuple(stolen),
+    }
+
+
 def run_perf(quick: bool = False, single_repeats: int = 5) -> PerfReport:
     """Run the full harness at ``jobs=1``; pure measurement, no I/O.
 
@@ -441,6 +568,8 @@ def run_perf(quick: bool = False, single_repeats: int = 5) -> PerfReport:
         GRID_BUDGETS,
         min(single_repeats, 2),
     )
+    imbalance = _time_imbalance(quick)
+    identical = identical and bool(imbalance.pop("identical"))
 
     return PerfReport(
         quick=quick,
@@ -457,6 +586,7 @@ def run_perf(quick: bool = False, single_repeats: int = 5) -> PerfReport:
         context_stats=ctx.stats.as_dict(),
         trace_single=trace_single,
         budget_column=budget_column,
+        imbalance=imbalance,
     )
 
 
@@ -495,6 +625,14 @@ def render_perf(report: PerfReport) -> str:
             f"{report.column_speedup(kernel, 'trace'):.2f}x, evaluate "
             f"{report.column_speedup(kernel, 'evaluate'):.2f}x "
             f"(full budget axis, one ladder pass vs per budget)"
+        )
+    if report.imbalance:
+        lines.append(
+            f"  imbalance     {report.imbalance['static_s']:8.2f}s static -> "
+            f"{report.imbalance['steal_s']:.2f}s stealing "
+            f"({report.steal_speedup:.2f}x at jobs="
+            f"{report.imbalance['jobs']}, {report.imbalance['slow_points']} "
+            f"slow points pinned on {report.imbalance['slow_kernel']})"
         )
     lines.append(f"  records bit-identical: {report.identical}")
     return "\n".join(lines)

@@ -162,7 +162,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         retry=RetryPolicy(max_retries=args.max_retries),
         deadlines=DeadlinePolicy(timeout_factor=args.timeout_factor),
         faults=faults,
+        stealing=not args.no_steal,
     )
+    if args.dry_run:
+        print(executor.dry_run(space))
+        return 0
     try:
         results = executor.run(space)
     except SweepInterrupted as exc:
@@ -267,6 +271,17 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         )
         return 1
     if (
+        args.min_steal_speedup is not None
+        and report.steal_speedup < args.min_steal_speedup
+    ):
+        print(
+            f"perf: FAIL — work-stealing speedup {report.steal_speedup:.2f}x "
+            f"on the imbalance grid is below the required "
+            f"{args.min_steal_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
         args.max_supervision_overhead is not None
         and report.supervision_overhead > args.max_supervision_overhead
     ):
@@ -320,6 +335,9 @@ def _cmd_cache_fsck(args: argparse.Namespace) -> int:
         print(f"  corrupt: {path}")
     for path in report.tmp:
         print(f"  orphaned tmp: {path}")
+    if args.gc:
+        gc_report = cache.gc(days=args.gc_days)
+        print(f"fsck {args.dir}: {gc_report.summary()}")
     if report.clean or args.repair:
         return 0
     print(
@@ -407,8 +425,11 @@ def main(argv: "list[str] | None" = None) -> int:
     p_explore.add_argument("--jobs", type=int, default=1,
                            help="worker processes (1 = inline)")
     p_explore.add_argument("--cache-dir", default=None,
-                           help="on-disk result cache directory (implies "
-                           "reuse of cached results; see --fresh)")
+                           help="on-disk result cache: a directory path, "
+                           "or the URI sqlite:PATH for a single-file "
+                           "WAL-mode SQLite cache safe for concurrent "
+                           "sweeps (implies reuse of cached results; "
+                           "see --fresh)")
     freshness = p_explore.add_mutually_exclusive_group()
     freshness.add_argument(
         "--resume", action="store_true",
@@ -455,6 +476,18 @@ def main(argv: "list[str] | None" = None) -> int:
         "happy path, but a broken worker pool aborts the sweep",
     )
     p_explore.add_argument(
+        "--no-steal", action="store_true",
+        help="disable the work-stealing lease dispatcher and restore "
+        "static cost-model chunk packing (results are bit-identical "
+        "either way)",
+    )
+    p_explore.add_argument(
+        "--dry-run", action="store_true",
+        help="print the planned queue (per-lease predicted cost from "
+        "the persisted cost model, cold-prior points marked) and exit "
+        "without evaluating anything",
+    )
+    p_explore.add_argument(
         "--max-retries", type=int, default=2, metavar="N",
         help="retries before a repeatedly failing point is quarantined "
         "(default 2)",
@@ -491,7 +524,7 @@ def main(argv: "list[str] | None" = None) -> int:
 
     p_perf = sub.add_parser(
         "perf",
-        help="run the tracked microbenchmark harness (emits BENCH_9.json) "
+        help="run the tracked microbenchmark harness (emits BENCH_10.json) "
         "or compare two emitted reports",
     )
     p_perf.add_argument(
@@ -500,7 +533,7 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     p_perf.add_argument(
         "--out", default=None, metavar="PATH",
-        help="write the JSON report here (e.g. BENCH_9.json)",
+        help="write the JSON report here (e.g. BENCH_10.json)",
     )
     p_perf.add_argument(
         "--repeats", type=int, default=5,
@@ -521,6 +554,12 @@ def main(argv: "list[str] | None" = None) -> int:
         help="exit non-zero unless the budget ladder beats per-budget "
         "evaluation by at least X on some window kernel's full budget "
         "column",
+    )
+    p_perf.add_argument(
+        "--min-steal-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless work-stealing dispatch beats static "
+        "chunking by at least X on the heterogeneous imbalance grid "
+        "at jobs=4",
     )
     p_perf.add_argument(
         "--max-supervision-overhead", type=float, default=None, metavar="F",
@@ -599,6 +638,16 @@ def main(argv: "list[str] | None" = None) -> int:
         "--repair", action="store_true",
         help="move corrupt entries to quarantine/ and delete orphaned "
         "tmp files (scan-only by default; exit 0 after repair)",
+    )
+    p_fsck.add_argument(
+        "--gc", action="store_true",
+        help="also prune quarantined corpses and stale-format entries "
+        "older than --gc-days, reporting the bytes reclaimed",
+    )
+    p_fsck.add_argument(
+        "--gc-days", type=float, default=30.0, metavar="N",
+        help="--gc pruning age in days (default 30; younger blobs are "
+        "kept for post-mortem)",
     )
     p_fsck.set_defaults(func=_cmd_cache_fsck)
 

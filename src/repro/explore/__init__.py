@@ -45,9 +45,16 @@ from repro.explore.batch import (
     verify_ladder_equivalence,
     verify_trace_equivalence,
 )
+from repro.explore.backends import (
+    CacheBackend,
+    DirBackend,
+    SqliteBackend,
+    backend_for,
+)
 from repro.explore.cache import (
     CacheCorruptionWarning,
     FsckReport,
+    GcReport,
     ResultCache,
 )
 from repro.explore.context import (
@@ -73,8 +80,11 @@ from repro.explore.query import DesignQuery, DesignRecord, LatencySpec
 from repro.explore.results import ResultSet
 from repro.explore.schedule import (
     CostModel,
+    Lease,
+    persist_cost_model,
     plan_chunks,
     plan_chunks_by_kernel,
+    plan_leases,
     static_cost,
 )
 from repro.explore.shard import parse_shard, shard_index, shard_queries
@@ -93,26 +103,32 @@ from repro.explore.versions import (
 
 __all__ = [
     "BatchMismatch",
+    "CacheBackend",
     "CacheCorruptionWarning",
     "CostModel",
     "DeadlinePolicy",
     "DesignQuery",
     "DesignRecord",
+    "DirBackend",
     "EvalContext",
     "ExplorationSpace",
     "Executor",
     "ExploreStats",
     "FaultPlan",
     "FsckReport",
+    "GcReport",
     "InjectedCrash",
     "LatencySpec",
+    "Lease",
     "ResultCache",
     "ResultSet",
     "RetryPolicy",
+    "SqliteBackend",
     "SupervisedDriver",
     "VersionRegistry",
     "WorkerLost",
     "WouldHang",
+    "backend_for",
     "code_version",
     "compare_batched",
     "compare_ladder",
@@ -123,8 +139,10 @@ __all__ = [
     "iteration_classes",
     "parse_fault_spec",
     "parse_shard",
+    "persist_cost_model",
     "plan_chunks",
     "plan_chunks_by_kernel",
+    "plan_leases",
     "process_context",
     "query_roots",
     "query_vector",

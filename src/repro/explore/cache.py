@@ -1,13 +1,9 @@
-"""On-disk, content-addressed result cache for exploration sweeps.
+"""Content-addressed result cache for exploration sweeps.
 
-Layout (one JSON file per design point)::
+Entry semantics (one JSON document per design point)::
 
-    <root>/
-      <query_digest>.json    # {"format", "versions", "query", "record",
-                             #  "seconds", "trace_engine", "batch",
-                             #  "checksum"}
-      quarantine/            # damaged entries moved aside, kept for
-                             # post-mortem, never read as entries
+    {"format", "versions", "query", "record",
+     "seconds", "trace_engine", "batch", "checksum"}
 
 ``seconds`` is the point's measured evaluation wall time — envelope
 bookkeeping (like ``versions``), not part of the record's identity: it
@@ -16,7 +12,7 @@ to the record on lookup.  ``trace_engine`` / ``batch`` record which
 evaluation path *produced* the timing (records themselves are
 bit-identical across paths, so they never affect the entry's identity
 or validity): the cost model keys its observations by producing engine
-so an engine switch cannot skew LPT packing.  Both are optional —
+so an engine switch cannot skew queue ordering.  Both are optional —
 entries written before provenance was recorded simply fit as
 engine-unknown.
 
@@ -26,18 +22,28 @@ Each entry is keyed by the query's content digest and guarded by the
 pair must still match the current source tree, so an edit anywhere in a
 point's dependency cone makes exactly that point stale — and an edit
 outside it (``codegen/``, ``bench/``, another kernel's builder) leaves
-the entry valid.  Writes are atomic (temp file + rename, optionally
-fsync'd before the rename) so concurrent sweeps sharing a cache
-directory cannot corrupt entries.
+the entry valid.
+
+**Storage** is delegated to a :class:`~repro.explore.backends.CacheBackend`
+(:mod:`repro.explore.backends`): a plain path keeps the classic
+one-file-per-entry directory (:class:`~repro.explore.backends.DirBackend` —
+atomic temp-file + rename writes, optionally fsync'd, so concurrent
+sweeps sharing a directory cannot corrupt entries), while a
+``sqlite:PATH`` URI stores the same documents in a single WAL-mode
+SQLite file (:class:`~repro.explore.backends.SqliteBackend`) that
+concurrent sweeps can share safely.  Entry semantics — checksums,
+version vectors, quarantine — are identical either way.
 
 **Integrity**: every entry carries a sha256 ``checksum`` over its own
 canonical JSON, so bit rot and torn writes are detected even when the
 damage still parses.  Damaged entries (truncated writes, garbage bytes,
 schema drift, checksum mismatch) are treated as misses but *moved
-aside* into ``quarantine/`` — a :class:`CacheCorruptionWarning` names
-the path, the re-evaluated point overwrites cleanly, and the damaged
-bytes survive for inspection.  :meth:`ResultCache.fsck` scans the whole
-directory offline (CLI: ``repro cache fsck [--repair]``);
+aside* into the backend's quarantine area — a
+:class:`CacheCorruptionWarning` names the location, the re-evaluated
+point overwrites cleanly, and the damaged bytes survive for
+post-mortem.  :meth:`ResultCache.fsck` scans every entry offline (CLI:
+``repro cache fsck [--repair] [--gc]``); :meth:`ResultCache.gc` prunes
+aged quarantine blobs and stale-format entries;
 :meth:`ResultCache.reap_tmp` deletes ``.*.tmp`` files orphaned by
 workers that died between write and rename, which the executor calls at
 every sweep start.
@@ -48,13 +54,16 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
-import time
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ReproError
+from repro.explore.backends import (
+    CacheBackend,
+    DirBackend,
+    backend_for,
+)
 from repro.explore.query import DesignQuery, DesignRecord
 from repro.explore.versions import VersionRegistry, default_registry, query_vector
 
@@ -63,6 +72,7 @@ __all__ = [
     "CacheCorruptionWarning",
     "ENTRY_FORMAT",
     "FsckReport",
+    "GcReport",
 ]
 
 #: Schema version of cache entries; bump on incompatible layout changes.
@@ -75,6 +85,11 @@ QUARANTINE_DIR = "quarantine"
 #: Default age (seconds) past which an orphaned ``.*.tmp`` file is
 #: considered dead rather than a concurrent shard's in-flight write.
 TMP_MAX_AGE = 60.0
+
+#: Default ``gc`` pruning age, in days: quarantined corpses and
+#: stale-format entries younger than this are kept (they may still be
+#: wanted for post-mortem / migration).
+GC_DAYS = 30.0
 
 
 class CacheCorruptionWarning(UserWarning):
@@ -92,8 +107,8 @@ def _entry_checksum(doc: dict) -> str:
 class FsckReport:
     """What :meth:`ResultCache.fsck` found (and, with repair, did).
 
-    ``corrupt`` and ``tmp`` are the offending paths; ``quarantined`` /
-    ``reaped`` count repair actions actually taken (0 on a scan-only
+    ``corrupt`` and ``tmp`` are the offending locations; ``quarantined``
+    / ``reaped`` count repair actions actually taken (0 on a scan-only
     pass).
     """
 
@@ -124,8 +139,28 @@ class FsckReport:
         return text
 
 
+@dataclass(frozen=True)
+class GcReport:
+    """What :meth:`ResultCache.gc` pruned."""
+
+    quarantine_removed: int
+    stale_removed: int
+    bytes_reclaimed: int
+
+    def summary(self) -> str:
+        return (
+            f"gc: pruned {self.quarantine_removed} quarantined + "
+            f"{self.stale_removed} stale-format entries, reclaimed "
+            f"{self.bytes_reclaimed} bytes"
+        )
+
+
 class ResultCache:
-    """A directory of cached :class:`DesignRecord` documents.
+    """Cached :class:`DesignRecord` documents over a storage backend.
+
+    ``root`` names the storage: a path or ``CacheBackend`` for the
+    classic entry-file directory, or a ``sqlite:PATH`` URI for the
+    single-file SQLite backend (see :mod:`repro.explore.backends`).
 
     ``registry`` selects the source tree the version vectors are hashed
     against; tests point it at a copied tree to exercise real
@@ -145,22 +180,32 @@ class ResultCache:
       those entries stale until a fresh process re-evaluates them with
       the new code.
 
-    ``fsync=True`` additionally fsyncs each entry before the atomic
-    rename, so a machine crash cannot publish a half-flushed entry —
-    off by default (the checksum catches torn writes either way, at
-    read time instead of write time).
+    ``fsync=True`` (directory backend) additionally fsyncs each entry
+    before the atomic rename, so a machine crash cannot publish a
+    half-flushed entry — off by default (the checksum catches torn
+    writes either way, at read time instead of write time).
     """
 
     def __init__(
         self,
-        root: "Path | str",
+        root: "CacheBackend | Path | str",
         registry: "VersionRegistry | None" = None,
         fsync: bool = False,
     ):
-        self.root = Path(root)
+        self.backend = backend_for(root, fsync=fsync)
+        #: The directory root for the classic backend (kept for
+        #: compatibility and direct-path consumers); the database file
+        #: for the SQLite backend.
+        self.root = (
+            self.backend.root if isinstance(self.backend, DirBackend)
+            else self.backend.path
+        )
         self.registry = registry or VersionRegistry()
         self._put_registry = registry or default_registry()
         self.fsync = fsync
+
+    def describe(self) -> str:
+        return self.backend.describe()
 
     def refresh(self) -> None:
         """Re-read the source tree for subsequent lookups.
@@ -176,34 +221,28 @@ class ResultCache:
         )
 
     def path_for(self, query: DesignQuery) -> Path:
+        """The entry file of ``query`` (directory backend only)."""
+        if not isinstance(self.backend, DirBackend):
+            raise ReproError(
+                f"{self.backend.describe()} stores entries in a database, "
+                f"not one file per entry; path_for is directory-backend only"
+            )
         return self.root / f"{query.digest()}.json"
-
-    def _quarantine(self, path: Path) -> "Path | None":
-        """Move a damaged entry into ``quarantine/``; None if that failed."""
-        target_dir = self.root / QUARANTINE_DIR
-        try:
-            target_dir.mkdir(parents=True, exist_ok=True)
-            target = target_dir / path.name
-            os.replace(path, target)
-            return target
-        except OSError:
-            return None
 
     def lookup(self, query: DesignQuery) -> "tuple[DesignRecord | None, str]":
         """``(record, status)`` with status in hit/miss/stale/corrupt.
 
-        * ``miss`` — no entry on disk;
+        * ``miss`` — no entry stored;
         * ``corrupt`` — an entry exists but cannot be decoded or fails
-          its checksum (warned, moved to ``quarantine/``);
+          its checksum (warned, moved to quarantine);
         * ``stale`` — decodes, but some module in its recorded version
           vector has changed (or the entry predates vector keying);
         * ``hit`` — decodes, verifies, and every recorded module hash
           still matches.
         """
-        path = self.path_for(query)
-        try:
-            raw = path.read_bytes()
-        except OSError:
+        digest = query.digest()
+        raw = self.backend.read(digest)
+        if raw is None:
             return None, "miss"
         try:
             # UnicodeDecodeError is a ValueError: a torn write that is
@@ -225,10 +264,11 @@ class ResultCache:
             if isinstance(seconds, (int, float)):
                 record = dataclasses.replace(record, seconds=float(seconds))
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
-            moved = self._quarantine(path)
+            moved = self.backend.quarantine(digest)
             where = f" (moved to {moved})" if moved else ""
             warnings.warn(
-                f"quarantined corrupted cache entry {path}{where}: {exc}",
+                f"quarantined corrupted cache entry "
+                f"{self._locate(digest)}{where}: {exc}",
                 CacheCorruptionWarning,
                 stacklevel=2,
             )
@@ -236,6 +276,11 @@ class ResultCache:
         if not self._current(versions):
             return None, "stale"
         return record, "hit"
+
+    def _locate(self, digest: str) -> str:
+        if isinstance(self.backend, DirBackend):
+            return str(self.root / f"{digest}.json")
+        return f"{self.backend.describe()}#{digest}"
 
     def _current(self, versions: dict[str, str]) -> bool:
         known = self.registry.modules()
@@ -256,8 +301,8 @@ class ResultCache:
         record: DesignRecord,
         trace_engine: "str | None" = None,
         batch: "bool | None" = None,
-    ) -> Path:
-        """Atomically persist ``record``; returns the entry path.
+    ) -> "Path | str":
+        """Atomically persist ``record``; returns the entry location.
 
         ``trace_engine`` / ``batch`` optionally record which evaluation
         path produced the record's timing (see the module docstring);
@@ -270,8 +315,6 @@ class ResultCache:
                 f"record for {record.query.kernel}: an anytime incumbent "
                 f"under a node/time box is not the point's exact answer"
             )
-        path = self.path_for(record.query)
-        path.parent.mkdir(parents=True, exist_ok=True)
         doc = {
             "format": ENTRY_FORMAT,
             "versions": query_vector(record.query, self._put_registry),
@@ -284,16 +327,17 @@ class ResultCache:
         if batch is not None:
             doc["batch"] = bool(batch)
         doc["checksum"] = _entry_checksum(doc)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        if self.fsync:
-            with open(tmp, "w") as handle:
-                handle.write(json.dumps(doc, indent=2, sort_keys=True))
-                handle.flush()
-                os.fsync(handle.fileno())
-        else:
-            tmp.write_text(json.dumps(doc, indent=2, sort_keys=True))
-        os.replace(tmp, path)
-        return path
+        return self.backend.write(
+            record.query.digest(), json.dumps(doc, indent=2, sort_keys=True)
+        )
+
+    def corrupt_entry(self, query: DesignQuery) -> None:
+        """Chaos hook: damage ``query``'s stored entry like a torn write.
+
+        Backend-agnostic counterpart of flipping a byte in the entry
+        file; used by the ``corrupt-write`` fault kind.
+        """
+        self.backend.corrupt(query.digest())
 
     def reap_tmp(self, max_age: float = TMP_MAX_AGE) -> int:
         """Delete orphaned ``.*.tmp`` files older than ``max_age`` seconds.
@@ -301,25 +345,52 @@ class ResultCache:
         A worker that dies between write and rename leaves its tmp file
         behind; anything younger than ``max_age`` may be a concurrent
         shard's in-flight write and is left alone.  Returns how many
-        files were deleted.
+        files were deleted (always 0 on the SQLite backend — WAL
+        transactions leave no orphans).
         """
-        if not self.root.is_dir():
-            return 0
-        cutoff = time.time() - max_age
-        reaped = 0
-        for tmp in list(self.root.glob(".*.tmp")):
-            try:
-                if tmp.stat().st_mtime < cutoff:
-                    tmp.unlink()
-                    reaped += 1
-            except OSError:
-                continue
-        return reaped
+        return self.backend.reap_tmp(max_age)
 
-    def _verify(self, path: Path) -> "str | None":
-        """Why ``path`` is not a valid current-format entry (None if ok)."""
+    def iter_docs(self):
+        """Yield every decodable entry document (validity not checked).
+
+        Best-effort: unreadable or undecodable entries are skipped (the
+        cache warns about corruption on lookup, not here).  The cost
+        model fits from this.
+        """
+        for entry in self.backend.entries():
+            raw = self.backend.read(entry.name)
+            if raw is None:
+                continue
+            try:
+                doc = json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+                continue
+            if isinstance(doc, dict):
+                yield doc
+
+    def read_meta(self, key: str) -> "dict | None":
+        """A decoded meta document (e.g. the persisted cost model)."""
+        raw = self.backend.read_meta(key)
+        if raw is None:
+            return None
         try:
-            doc = json.loads(path.read_text())
+            doc = json.loads(raw)
+        except (json.JSONDecodeError, ValueError):
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def write_meta(self, key: str, doc: dict) -> None:
+        """Persist one meta document (atomic; may raise ``OSError``)."""
+        self.backend.write_meta(
+            key, json.dumps(doc, indent=2, sort_keys=True)
+        )
+
+    def _verify_text(self, raw: "bytes | None") -> "str | None":
+        """Why an entry blob is not valid current-format (None if ok)."""
+        if raw is None:
+            return "stale-format"  # vanished mid-scan: not this scan's problem
+        try:
+            doc = json.loads(raw.decode("utf-8"))
             if not isinstance(doc, dict):
                 raise TypeError("entry is not a JSON object")
             if doc.get("format") != ENTRY_FORMAT:
@@ -329,8 +400,6 @@ class ResultCache:
             if not isinstance(doc.get("versions"), dict):
                 raise TypeError("version vector is not an object")
             DesignRecord.from_dict(doc["record"])
-        except OSError:
-            return "stale-format"  # vanished mid-scan: not this scan's problem
         except (json.JSONDecodeError, KeyError, TypeError, ValueError):
             return "corrupt"
         return None
@@ -340,42 +409,31 @@ class ResultCache:
     ) -> FsckReport:
         """Scan every entry: decode, checksum, record round-trip.
 
-        With ``repair=True``, corrupt entries are moved to
-        ``quarantine/`` and orphaned tmp files older than
-        ``tmp_max_age`` are deleted.  Stale-format entries (older
-        schema versions) are reported but left in place — they are
-        harmless misses, and deleting them is ``clear()``'s job.
+        With ``repair=True``, corrupt entries are moved to quarantine
+        and orphaned tmp files older than ``tmp_max_age`` are deleted.
+        Stale-format entries (older schema versions) are reported but
+        left in place — they are harmless misses, and pruning them is
+        :meth:`gc`'s job.
         """
         scanned = ok = stale_format = 0
         corrupt: list[str] = []
-        tmp: list[str] = []
         quarantined = reaped = 0
-        if self.root.is_dir():
-            for path in sorted(self.root.glob("*.json")):
-                scanned += 1
-                problem = self._verify(path)
-                if problem is None:
-                    ok += 1
-                elif problem == "stale-format":
-                    stale_format += 1
-                else:
-                    corrupt.append(str(path))
-                    if repair and self._quarantine(path) is not None:
-                        quarantined += 1
-            cutoff = time.time() - tmp_max_age
-            for orphan in sorted(self.root.glob(".*.tmp")):
-                try:
-                    if orphan.stat().st_mtime >= cutoff:
-                        continue
-                except OSError:
-                    continue
-                tmp.append(str(orphan))
-                if repair:
-                    try:
-                        orphan.unlink()
-                        reaped += 1
-                    except OSError:
-                        continue
+        for entry in self.backend.entries():
+            scanned += 1
+            problem = self._verify_text(self.backend.read(entry.name))
+            if problem is None:
+                ok += 1
+            elif problem == "stale-format":
+                stale_format += 1
+            else:
+                corrupt.append(entry.location)
+                if repair and self.backend.quarantine(entry.name) is not None:
+                    quarantined += 1
+        tmp = self.backend.tmp_orphans(tmp_max_age)
+        if repair:
+            reaped = sum(
+                1 for orphan in tmp if self.backend.remove_tmp(orphan)
+            )
         return FsckReport(
             scanned=scanned,
             ok=ok,
@@ -386,25 +444,42 @@ class ResultCache:
             reaped=reaped,
         )
 
-    def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        quarantine = self.root / QUARANTINE_DIR
-        return sum(
-            1 for path in self.root.rglob("*.json")
-            if quarantine not in path.parents
+    def gc(self, days: float = GC_DAYS) -> GcReport:
+        """Prune quarantined corpses and stale-format entries.
+
+        Both accumulate forever otherwise: quarantine keeps every
+        damaged blob for post-mortem, and entries written by an older
+        schema are permanent misses that only a ``clear()`` removed.
+        Anything younger than ``days`` is kept.  Valid current-format
+        entries are never touched, whatever their age.
+        """
+        if days < 0:
+            raise ReproError(f"gc days must be >= 0, got {days}")
+        cutoff = days * 86400.0
+        quarantine_removed = stale_removed = freed = 0
+        for blob in self.backend.quarantined():
+            if blob.age > cutoff:
+                freed += self.backend.delete_quarantined(blob.name)
+                quarantine_removed += 1
+        for entry in self.backend.entries():
+            if entry.age <= cutoff:
+                continue
+            if self._verify_text(self.backend.read(entry.name)) \
+                    != "stale-format":
+                continue  # healthy or corrupt: not gc's to delete
+            freed += self.backend.delete(entry.name)
+            stale_removed += 1
+        return GcReport(
+            quarantine_removed=quarantine_removed,
+            stale_removed=stale_removed,
+            bytes_reclaimed=freed,
         )
+
+    def __len__(self) -> int:
+        return self.backend.count()
 
     def clear(self) -> int:
         """Delete every entry (including legacy per-version
         subdirectory entries from format-1 caches and quarantined
         ones); returns how many."""
-        removed = 0
-        if self.root.is_dir():
-            for path in self.root.rglob("*.json"):
-                path.unlink()
-                removed += 1
-            for sub in self.root.iterdir():
-                if sub.is_dir() and not any(sub.iterdir()):
-                    sub.rmdir()
-        return removed
+        return self.backend.clear()

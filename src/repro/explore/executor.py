@@ -26,11 +26,18 @@ Four properties make sweeps production-shaped:
   bit-identical either way.  A cache-write hitting ``ENOSPC``/``EROFS``
   flips the sweep to read-only-cache mode with one warning — the sweep
   still completes and a later ``--resume`` heals the cache.
-* **cost-model scheduling** — pending points are packed into balanced
-  chunks by longest-processing-time-first over per-point cost estimates
-  (:mod:`repro.explore.schedule`), fitted from cached timings with
-  static priors for cold starts.  An explicit ``chunksize`` opts back
-  into fixed consecutive chunks.
+* **cost-model scheduling** — by default pending points feed a
+  **work-stealing dispatcher**: small single-kernel leases pulled on
+  demand, ordered longest-first by per-point cost estimates
+  (:mod:`repro.explore.schedule`), with soft kernel affinity and
+  steal-splitting of queued leases when workers would otherwise idle.
+  The cost model (fitted from cached timings, the cache's persisted
+  cross-run model, and static priors for cold starts) only *orders* the
+  queue — a misprediction costs one worker one small lease, never a
+  whole statically packed chunk.  ``stealing=False`` (CLI:
+  ``--no-steal``) restores static LPT chunk packing; an explicit
+  ``chunksize`` opts into fixed consecutive chunks.  All modes assemble
+  bit-identical ResultSets.
 * **sharding** — ``shard=(i, N)`` (or ``"i/N"``) restricts a run to a
   deterministic, digest-stable subset of the space
   (:mod:`repro.explore.shard`), so independent machines sharing a cache
@@ -59,7 +66,14 @@ from repro.explore.context import EvalContext
 from repro.explore.evaluate import evaluate_query_safe
 from repro.explore.query import DesignQuery, DesignRecord
 from repro.explore.results import ResultSet
-from repro.explore.schedule import CostModel, plan_chunks, plan_chunks_by_kernel
+from repro.explore.schedule import (
+    COST_MODEL_META_KEY,
+    CostModel,
+    persist_cost_model,
+    plan_chunks,
+    plan_chunks_by_kernel,
+    plan_leases,
+)
 from repro.explore.shard import parse_shard, shard_queries
 from repro.explore.space import ExplorationSpace
 from repro.explore.supervise import (
@@ -90,6 +104,14 @@ class ExploreStats:
     ``cache_read_only`` reports that a cache write hit ``ENOSPC`` /
     ``EROFS`` and the sweep finished without writing further entries.
 
+    ``leases`` / ``steals`` / ``affinity_hits`` are the work-stealing
+    dispatcher's observability counters (all 0 on jobs=1, static, or
+    bare runs): lease tasks submitted, queued multi-point leases split
+    into singletons because workers would otherwise have idled, and
+    lease picks that matched the freed worker's resident kernels.  They
+    describe *scheduling*, which is timing-dependent — records are
+    bit-identical regardless.
+
     ``stage_seconds`` aggregates the evaluated points' per-stage wall
     times (kernel build / allocation / DFG+coverage / trace engine /
     cycle count / other) — CPU seconds spent inside evaluation, summed
@@ -112,6 +134,9 @@ class ExploreStats:
     retries: int = 0
     pool_breaks: int = 0
     cache_read_only: bool = False
+    steals: int = 0
+    leases: int = 0
+    affinity_hits: int = 0
     stage_seconds: "dict[str, float]" = field(default_factory=dict)
 
     @property
@@ -148,10 +173,19 @@ class ExploreStats:
     def profile(self) -> str:
         """The ``--profile`` per-stage breakdown, one line per stage."""
         total = sum(self.stage_seconds.values())
+        scheduler = ""
+        if self.leases:
+            scheduler = (
+                f"scheduler: {self.leases} leases, {self.steals} steals, "
+                f"{self.affinity_hits} affinity hits"
+            )
         if not total:
-            return "profile: no points evaluated (all cache hits?)"
+            text = "profile: no points evaluated (all cache hits?)"
+            return f"{text}\n{scheduler}" if scheduler else text
         lines = [f"profile: {total:.2f}s evaluation CPU over "
                  f"{self.evaluated} points"]
+        if scheduler:
+            lines.append(f"  {scheduler}")
         known = {key for key, _ in self.STAGE_LABELS}
         extras = [
             (key, key) for key in sorted(self.stage_seconds)
@@ -200,9 +234,22 @@ class Executor:
         cache) — the CLI maps ``--fresh`` onto disabling this flag.
     chunksize:
         Points per worker task (>= 1).  By default the pending points
-        are instead packed into balanced chunks (about four per job) by
-        the cost model; an explicit value forces fixed consecutive
-        chunks of that size.
+        instead feed the work-stealing lease queue (or, with
+        ``stealing=False``, are packed into balanced chunks by the cost
+        model); an explicit value forces fixed consecutive chunks of
+        that size (implies static dispatch).
+    stealing:
+        Dispatch supervised parallel work through the work-stealing
+        lease queue (the default): small single-kernel leases pulled on
+        demand, longest-first, soft kernel affinity, queued leases split
+        to singletons when workers would otherwise idle.  ``False``
+        (CLI: ``--no-steal``) restores static plan-then-submit chunking.
+        Ignored at ``jobs=1``, under ``supervise=False``, and with an
+        explicit ``chunksize`` — those paths are inherently static.
+        Results are bit-identical in every mode.
+    lease_points:
+        Cap on points per lease (tests/benchmarks; None — the default —
+        uses the planner's ``min(8, ceil(n / (jobs * 16)))``).
     batch:
         Evaluate through the batched steady-state/boundary path (the
         default).  Batched and unbatched records are bit-identical, so
@@ -273,11 +320,17 @@ class Executor:
         deadlines: "DeadlinePolicy | None" = None,
         faults: "faults_mod.FaultPlan | None" = None,
         pool_break_limit: int = 6,
+        stealing: bool = True,
+        lease_points: "int | None" = None,
     ):
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
         if chunksize is not None and chunksize < 1:
             raise ReproError(f"chunksize must be >= 1, got {chunksize}")
+        if lease_points is not None and lease_points < 1:
+            raise ReproError(
+                f"lease_points must be >= 1, got {lease_points}"
+            )
         from repro.sim.residency import TRACE_ENGINES
 
         if trace_engine not in TRACE_ENGINES:
@@ -308,6 +361,8 @@ class Executor:
         )
         self.faults = faults
         self.pool_break_limit = pool_break_limit
+        self.stealing = stealing
+        self.lease_points = lease_points
         self._cache_read_only = False
         self._driver: "SupervisedDriver | None" = None
 
@@ -378,10 +433,17 @@ class Executor:
         previous_plan = faults_mod.active_fault_plan()
         if self.faults is not None:
             faults_mod.install_fault_plan(self.faults)
+        run_timings: list[tuple[DesignQuery, float]] = []
         try:
             for index, record in self._evaluate(pending, timings):
                 records[index] = record
                 self._store(record)
+                if (
+                    record.seconds is not None
+                    and not record.crash
+                    and not record.quarantined
+                ):
+                    run_timings.append((record.query, record.seconds))
                 done += 1
                 if progress:
                     progress(done, len(queries))
@@ -390,6 +452,7 @@ class Executor:
         finally:
             if self.faults is not None:
                 faults_mod.install_fault_plan(previous_plan)
+        self._persist_cost_model(run_timings)
 
         ordered = tuple(records[i] for i in range(len(queries)))
         stage_seconds: dict[str, float] = {}
@@ -413,9 +476,39 @@ class Executor:
             retries=driver.retries if driver is not None else 0,
             pool_breaks=driver.pool_breaks if driver is not None else 0,
             cache_read_only=self._cache_read_only,
+            steals=driver.steals if driver is not None else 0,
+            leases=driver.leases if driver is not None else 0,
+            affinity_hits=(
+                driver.affinity_hits if driver is not None else 0
+            ),
             stage_seconds=stage_seconds,
         )
         return ResultSet(ordered, stats)
+
+    def _persist_cost_model(
+        self, run_timings: "list[tuple[DesignQuery, float]]"
+    ) -> None:
+        """Fold this run's measured timings into the cache's persisted
+        cost model (cross-run cold-start predictions).
+
+        Only timings evaluated *this run* go in — cache-hit timings are
+        already represented in the persisted document, and re-absorbing
+        them would double-count every resume.  Persistence is a nicety:
+        a full or read-only disk skips it silently.
+        """
+        if (
+            self.cache is None
+            or self._cache_read_only
+            or not run_timings
+        ):
+            return
+        run_model = CostModel(trace_engine=self.trace_engine)
+        for query, seconds in run_timings:
+            run_model.observe(query, seconds, trace_engine=self.trace_engine)
+        try:
+            persist_cost_model(self.cache, run_model)
+        except OSError:
+            pass
 
     def _store(self, record: DesignRecord) -> None:
         """Cache one completed record, honouring the no-cache rules.
@@ -453,7 +546,7 @@ class Executor:
                 record, trace_engine=self.trace_engine, batch=self.batch
             )
             if kind == "corrupt-write":
-                faults_mod.corrupt_entry(self.cache.path_for(record.query))
+                self.cache.corrupt_entry(record.query)
         except OSError as error:
             if error.errno in (errno.ENOSPC, errno.EROFS):
                 self._cache_read_only = True
@@ -478,7 +571,7 @@ class Executor:
             yield from self._evaluate_bare(pending, timings)
             return
         model = self._cost_model(timings)
-        if model.observations:
+        if model.fitted:
             estimate = model.estimate
         else:
             # An unfitted model estimates in relative prior units, not
@@ -497,11 +590,32 @@ class Executor:
             pool_break_limit=self.pool_break_limit,
         )
         self._driver = driver
-        chunks = (
-            None if self.jobs == 1
-            else self._plan(pending, timings, model=model)
+        if self.jobs == 1:
+            yield from driver.drive(pending)
+            return
+        leases = self._plan_leases(pending, model)
+        if leases is not None:
+            yield from driver.drive(pending, leases=leases)
+            return
+        yield from driver.drive(
+            pending, self._plan(pending, timings, model=model)
         )
-        yield from driver.drive(pending, chunks)
+
+    def _plan_leases(
+        self,
+        pending: "list[tuple[int, DesignQuery]]",
+        model: CostModel,
+    ) -> "list | None":
+        """The work-stealing lease queue, or None for static dispatch."""
+        if not self.stealing or self.chunksize is not None:
+            return None
+        return plan_leases(
+            pending,
+            cost=lambda item: model.estimate(item[1]),
+            jobs=self.jobs,
+            key=lambda item: (item[1].kernel, item[1].kernel_json),
+            max_points=self.lease_points,
+        )
 
     def _evaluate_bare(
         self,
@@ -549,13 +663,18 @@ class Executor:
         produced by the other engine still inform estimates (fallback)
         but never masquerade as same-engine observations.  Cache-hit
         timings carry no engine provenance at this layer; they are
-        observed as engine-unknown.  A run with no hits at all pays a
-        directory scan to learn from the cache instead.
+        observed as engine-unknown.  The cache's *persisted* cross-run
+        model (engine-keyed, decayed) folds in on top, so even a fresh
+        grid on a warm cache predicts in real seconds; a run with
+        neither hits nor a persisted model pays an entry scan to learn
+        from the cache instead.
         """
         model = CostModel(trace_engine=self.trace_engine)
         for query, seconds in timings or ():
             model.observe(query, seconds)
-        if model.observations == 0:
+        if self.cache is not None:
+            model.absorb_doc(self.cache.read_meta(COST_MODEL_META_KEY))
+        if not model.fitted:
             model = CostModel.from_cache(
                 self.cache, trace_engine=self.trace_engine
             )
@@ -599,6 +718,125 @@ class Executor:
             )
         return plan_chunks(pending, cost=cost, bins=bins)
 
+    def dry_run(
+        self, space: "ExplorationSpace | Iterable[DesignQuery]"
+    ) -> str:
+        """Render the planned queue without evaluating anything.
+
+        Shows exactly what :meth:`run` would schedule: cache hits are
+        subtracted, the cost model is fitted from hit timings plus the
+        cache's persisted cross-run model, and the resulting lease
+        queue (or static chunks) is listed with per-lease predicted
+        cost.  Predictions print in seconds when the model is fitted
+        and in relative prior units (``u``) when cold; points answered
+        by the bare static prior are counted as *cold-prior* per lease.
+        Planned fault injections are marked — scheduling decisions stay
+        debuggable without burning a sweep.
+        """
+        if isinstance(space, ExplorationSpace):
+            queries: Sequence[DesignQuery] = space.expand()
+        else:
+            queries = list(space)
+        if self.shard is not None:
+            queries = shard_queries(queries, *self.shard)
+        hits = 0
+        pending: list[tuple[int, DesignQuery]] = []
+        timings: list[tuple[DesignQuery, float]] = []
+        if self.cache is not None and self.reuse_cache:
+            self.cache.refresh()
+        for index, query in enumerate(queries):
+            cached = None
+            if self.cache is not None and self.reuse_cache:
+                cached, _ = self.cache.lookup(query)
+            if cached is not None:
+                hits += 1
+                if cached.seconds is not None:
+                    timings.append((query, cached.seconds))
+            else:
+                pending.append((index, query))
+        model = self._cost_model(timings)
+        unit = "s" if model.fitted else "u"
+        lines = [
+            f"dry run: {len(queries)} points, {hits} cache hits, "
+            f"{len(pending)} to evaluate"
+        ]
+        if model.fitted:
+            lines.append(
+                f"cost model: fitted ({model.observations} timings from "
+                f"this cache; predictions in seconds)"
+            )
+        else:
+            lines.append(
+                "cost model: cold (static priors; costs in relative "
+                "units, marked u)"
+            )
+        if not pending:
+            lines.append("queue: empty — everything is cached")
+            return "\n".join(lines)
+
+        def marks(items: "list[tuple[int, DesignQuery]]") -> str:
+            cold = sum(
+                1 for _, q in items if model.explain(q)[1] == "prior"
+            )
+            text = f"  ({cold} cold-prior)" if cold else ""
+            if self.faults is not None:
+                kinds = sorted({
+                    kind
+                    for _, q in items
+                    for kind in (self.faults.fault_for(q),)
+                    if kind is not None
+                })
+                if kinds:
+                    text += f"  [inject: {', '.join(kinds)}]"
+            return text
+
+        total = sum(model.estimate(q) for _, q in pending)
+        if self.jobs > 1 and self.stealing and self.chunksize is None:
+            leases = self._plan_leases(pending, model) or []
+            lines.append(
+                f"queue: {len(leases)} leases, longest first "
+                f"(work-stealing, jobs={self.jobs})"
+            )
+            for position, lease in enumerate(leases, 1):
+                items = list(lease.items)
+                lines.append(
+                    f"  #{position:<3d} {lease.key[0]:<12} "
+                    f"{len(items):>3d} pt  ~{lease.cost:9.3f}{unit}"
+                    f"{marks(items)}"
+                )
+        elif self.jobs > 1:
+            chunks = self._plan(pending, timings, model=model)
+            lines.append(
+                f"queue: {len(chunks)} static chunks (LPT, "
+                f"jobs={self.jobs})"
+            )
+            for position, chunk in enumerate(chunks, 1):
+                cost = sum(model.estimate(q) for _, q in chunk)
+                kernels = sorted({q.kernel for _, q in chunk})
+                lines.append(
+                    f"  #{position:<3d} {'+'.join(kernels):<12} "
+                    f"{len(chunk):>3d} pt  ~{cost:9.3f}{unit}"
+                    f"{marks(chunk)}"
+                )
+        else:
+            lines.append(
+                f"queue: inline (jobs=1), {len(pending)} points in "
+                f"query order"
+            )
+            for position, (index, query) in enumerate(pending, 1):
+                lines.append(
+                    f"  #{position:<3d} {query.kernel:<12} "
+                    f"{query.allocator:<7} b={query.budget:<5d} "
+                    f"~{model.estimate(query):9.3f}{unit}"
+                    f"{marks([(index, query)])}"
+                )
+        lines.append(f"total predicted: ~{total:.3f}{unit}")
+        if self.jobs > 1:
+            lines.append(
+                f"ideal per job:   ~{total / self.jobs:.3f}{unit}"
+            )
+        return "\n".join(lines)
+
 
 def run_queries(
     queries: "Iterable[DesignQuery]",
@@ -614,11 +852,12 @@ def run_queries(
     retry: "RetryPolicy | None" = None,
     deadlines: "DeadlinePolicy | None" = None,
     faults: "faults_mod.FaultPlan | None" = None,
+    stealing: bool = True,
 ) -> ResultSet:
     """One-call convenience wrapper around :class:`Executor`."""
     return Executor(
         jobs=jobs, cache=cache, reuse_cache=reuse_cache, batch=batch,
         context=context, shard=shard, trace_engine=trace_engine,
         ladder=ladder, supervise=supervise, retry=retry,
-        deadlines=deadlines, faults=faults,
+        deadlines=deadlines, faults=faults, stealing=stealing,
     ).run(queries)

@@ -7,25 +7,36 @@ literature).  The executor's old fixed ``len(pending) // (jobs * 4)``
 split therefore routinely packed several expensive points into one chunk
 while other workers idled.
 
-This module replaces that split with two pieces:
+This module provides three pieces:
 
 * a :class:`CostModel` that predicts per-point evaluation seconds —
   fitted from the timings the cache persists with every
-  :class:`~repro.explore.query.DesignRecord` (``seconds``), falling back
-  to static kernel-size × allocator priors for cold starts;
-* :func:`plan_chunks`, a longest-processing-time-first (LPT) packer that
-  distributes pending points into balanced chunks.  LPT is the classic
-  2-approximation for multiprocessor scheduling: sort by estimated cost
-  descending, always drop the next point into the lightest chunk.
+  :class:`~repro.explore.query.DesignRecord` (``seconds``), absorbed
+  from the cache's *persisted* cross-run model (see
+  :func:`persist_cost_model`), falling back to static kernel-size ×
+  allocator priors for cold starts;
+* :func:`plan_chunks` / :func:`plan_chunks_by_kernel`, the
+  longest-processing-time-first (LPT) packers behind the static
+  plan-then-submit path.  LPT is the classic 2-approximation for
+  multiprocessor scheduling: sort by estimated cost descending, always
+  drop the next point into the lightest chunk;
+* :func:`plan_leases`, the work-stealing planner: instead of
+  irrevocably partitioning the queue, it cuts the pending set into many
+  small single-kernel :class:`Lease` units that workers pull on demand.
+  The cost model only *orders* the queue (longest first) and isolates
+  predicted-expensive points into singleton leases — a misprediction
+  costs one worker one lease, not a whole chunk.
 
 Everything here is deterministic: ties break on original query order, so
-two runs over the same pending set build the same chunks.  Estimates
-only shape *scheduling* — results are unaffected by construction.
+two runs over the same pending set build the same chunks and leases.
+Estimates only shape *scheduling* — results are unaffected by
+construction.
 """
 
 from __future__ import annotations
 
-import json
+import hashlib
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
@@ -37,10 +48,14 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "CostModel",
+    "Lease",
     "plan_chunks",
     "plan_chunks_by_kernel",
+    "plan_leases",
+    "persist_cost_model",
     "static_cost",
     "ALLOCATOR_WEIGHT",
+    "COST_MODEL_META_KEY",
 ]
 
 T = TypeVar("T")
@@ -87,6 +102,30 @@ def static_cost(query: DesignQuery) -> float:
     return _kernel_weight(query.kernel, query.kernel_json) * weight * budget_factor
 
 
+@lru_cache(maxsize=1024)
+def _kj_digest(kernel_json: "str | None") -> "str | None":
+    """Short stable digest of an embedded kernel JSON (None stays None).
+
+    Persisted cost-model rows key on this instead of the raw JSON so the
+    meta document stays small and key-comparable across runs.
+    """
+    if kernel_json is None:
+        return None
+    return hashlib.sha256(kernel_json.encode()).hexdigest()[:16]
+
+
+#: Meta key the fitted cost model persists under in the cache backend.
+COST_MODEL_META_KEY = "cost_model"
+
+#: Cross-run decay: each persisted observation's weight halves per run,
+#: so drifting hardware / code overwrites stale timings within a few
+#: sweeps while cold-start predictions still benefit from history.
+COST_MODEL_DECAY = 0.5
+
+#: Persisted rows whose decayed weight falls below this are dropped.
+COST_MODEL_FLOOR = 0.05
+
+
 class CostModel:
     """Predicts per-point evaluation seconds from observed timings.
 
@@ -105,6 +144,12 @@ class CostModel:
     Rescaling by prior *ratios* keeps the fallbacks ordered the same way
     the priors are, so LPT packing stays sensible even from sparse data.
 
+    Internally every tier keeps ``(sum, weight)`` accumulators rather
+    than raw timing lists: a live ``observe`` adds weight 1.0, while
+    rows absorbed from a persisted model (:meth:`absorb_doc`) carry the
+    decayed fractional weight they were stored with — one mean per
+    (pair, engine) key, pre-discounted by age.
+
     ``trace_engine`` names the engine the *upcoming* run will use.
     Timings are keyed by the engine that produced them (``observe``'s
     ``trace_engine``, ``None`` for unknown provenance — e.g. legacy
@@ -116,12 +161,34 @@ class CostModel:
 
     def __init__(self, trace_engine: "str | None" = None) -> None:
         self.trace_engine = trace_engine
-        #: (kernel, kernel_json, allocator) -> {producing engine -> timings}
+        #: (kernel, kj_digest, allocator) -> {producing engine -> [sum, weight]}
         self._pair: dict[
             tuple[str, "str | None", str], dict["str | None", list[float]]
         ] = {}
         self._kernel: dict[tuple[str, "str | None"], list[float]] = {}
-        self._all: list[float] = []
+        self._all = [0.0, 0.0]
+        self._observed = 0
+
+    def _add(
+        self,
+        kernel: str,
+        kj_digest: "str | None",
+        allocator: str,
+        engine: "str | None",
+        total: float,
+        weight: float,
+    ) -> None:
+        if weight <= 0:
+            return
+        by_engine = self._pair.setdefault((kernel, kj_digest, allocator), {})
+        acc = by_engine.setdefault(engine, [0.0, 0.0])
+        acc[0] += total
+        acc[1] += weight
+        kernel_acc = self._kernel.setdefault((kernel, kj_digest), [0.0, 0.0])
+        kernel_acc[0] += total
+        kernel_acc[1] += weight
+        self._all[0] += total
+        self._all[1] += weight
 
     def observe(
         self,
@@ -136,45 +203,141 @@ class CostModel:
         """
         if seconds is None or seconds < 0:
             return
-        kernel_key = (query.kernel, query.kernel_json)
-        by_engine = self._pair.setdefault(kernel_key + (query.allocator,), {})
-        by_engine.setdefault(trace_engine, []).append(seconds)
-        self._kernel.setdefault(kernel_key, []).append(seconds)
-        self._all.append(seconds)
+        self._add(
+            query.kernel,
+            _kj_digest(query.kernel_json),
+            query.allocator,
+            trace_engine,
+            float(seconds),
+            1.0,
+        )
+        self._observed += 1
 
     @property
     def observations(self) -> int:
-        return len(self._all)
+        """How many timings this run measured or scanned (``observe``
+        calls); rows absorbed from a persisted model do not count."""
+        return self._observed
 
-    def _pair_timings(
+    @property
+    def fitted(self) -> bool:
+        """Whether *any* evidence (observed or absorbed) backs estimates.
+
+        A fitted model predicts real seconds; an unfitted one returns
+        relative static-prior units — callers that need wall-clock
+        (deadlines, dry-run display) gate on this.
+        """
+        return self._all[1] > 0
+
+    def _pair_mean(
         self, key: "tuple[str, str | None, str]"
-    ) -> "list[float] | None":
+    ) -> "float | None":
         by_engine = self._pair.get(key)
         if not by_engine:
             return None
         if self.trace_engine is not None:
             same = by_engine.get(self.trace_engine)
-            if same:
-                return same
+            if same and same[1] > 0:
+                return same[0] / same[1]
         # Cross-engine fallback: any timing for this pair beats a
         # kernel-level or static guess.
-        merged = [s for timings in by_engine.values() for s in timings]
-        return merged or None
+        total = sum(acc[0] for acc in by_engine.values())
+        weight = sum(acc[1] for acc in by_engine.values())
+        return total / weight if weight > 0 else None
+
+    def explain(self, query: DesignQuery) -> "tuple[float, str]":
+        """``(estimate, tier)`` with tier in pair/kernel/global/prior.
+
+        The tier names which fallback answered — ``--dry-run`` marks
+        ``prior`` points as cold so mispredictions are attributable.
+        """
+        kernel_key = (query.kernel, _kj_digest(query.kernel_json))
+        pair = self._pair_mean(kernel_key + (query.allocator,))
+        if pair is not None:
+            return pair, "pair"
+        weight = ALLOCATOR_WEIGHT.get(query.allocator, 1.0)
+        kernel_acc = self._kernel.get(kernel_key)
+        if kernel_acc and kernel_acc[1] > 0:
+            return (kernel_acc[0] / kernel_acc[1]) * weight, "kernel"
+        if self._all[1] > 0:
+            mean = self._all[0] / self._all[1]
+            return mean * static_cost(query) / _mean_static_prior(), "global"
+        return static_cost(query), "prior"
 
     def estimate(self, query: DesignQuery) -> float:
         """Predicted evaluation seconds (relative units when unfitted)."""
-        kernel_key = (query.kernel, query.kernel_json)
-        pair = self._pair_timings(kernel_key + (query.allocator,))
-        if pair:
-            return sum(pair) / len(pair)
-        weight = ALLOCATOR_WEIGHT.get(query.allocator, 1.0)
-        per_kernel = self._kernel.get(kernel_key)
-        if per_kernel:
-            return (sum(per_kernel) / len(per_kernel)) * weight
-        if self._all:
-            mean = sum(self._all) / len(self._all)
-            return mean * static_cost(query) / _mean_static_prior()
-        return static_cost(query)
+        return self.explain(query)[0]
+
+    def to_doc(self) -> dict:
+        """The model as a persistable JSON document (pair-tier rows).
+
+        Only the finest tier is stored; kernel and global accumulators
+        are rebuilt on :meth:`absorb_doc` since they are plain sums of
+        the pair rows.
+        """
+        rows = []
+        for key in sorted(
+            self._pair, key=lambda k: (k[0], k[1] or "", k[2])
+        ):
+            kernel, kj_digest, allocator = key
+            by_engine = self._pair[key]
+            for engine in sorted(by_engine, key=lambda e: e or ""):
+                total, weight = by_engine[engine]
+                if weight <= 0:
+                    continue
+                rows.append({
+                    "kernel": kernel,
+                    "kernel_json_digest": kj_digest,
+                    "allocator": allocator,
+                    "engine": engine,
+                    "mean": total / weight,
+                    "weight": weight,
+                })
+        return {"version": 1, "rows": rows}
+
+    def absorb_doc(
+        self, doc: "dict | None", decay: float = 1.0, floor: float = 0.0
+    ) -> int:
+        """Fold a persisted model document into this one.
+
+        Each row's weight is multiplied by ``decay`` first; rows landing
+        at or below ``floor`` are dropped.  Malformed rows (or a
+        document from an unknown version) are skipped — persistence is
+        advisory, never load-bearing.  Returns how many rows were
+        absorbed.
+        """
+        if not isinstance(doc, dict) or doc.get("version") != 1:
+            return 0
+        rows = doc.get("rows")
+        if not isinstance(rows, list):
+            return 0
+        absorbed = 0
+        for row in rows:
+            if not isinstance(row, dict):
+                continue
+            try:
+                kernel = row["kernel"]
+                allocator = row["allocator"]
+                mean = float(row["mean"])
+                weight = float(row["weight"]) * decay
+            except (KeyError, TypeError, ValueError):
+                continue
+            if not isinstance(kernel, str) or not isinstance(allocator, str):
+                continue
+            if mean < 0 or weight <= floor:
+                continue
+            kj_digest = row.get("kernel_json_digest")
+            engine = row.get("engine")
+            self._add(
+                kernel,
+                kj_digest if isinstance(kj_digest, str) else None,
+                allocator,
+                engine if isinstance(engine, str) else None,
+                mean * weight,
+                weight,
+            )
+            absorbed += 1
+        return absorbed
 
     @staticmethod
     def from_cache(
@@ -183,7 +346,7 @@ class CostModel:
         """Fit a model from every readable timing in a result cache.
 
         Stale entries count too — a timing stays informative even after
-        the code it measured changed — and unreadable files are simply
+        the code it measured changed — and unreadable entries are simply
         skipped (the cache already warns about corruption on lookup).
         Each timing is keyed by the ``trace_engine`` recorded in its
         entry envelope (entries written before provenance was recorded
@@ -191,11 +354,10 @@ class CostModel:
         model's preferred engine.
         """
         model = CostModel(trace_engine=trace_engine)
-        if cache is None or not cache.root.is_dir():
+        if cache is None:
             return model
-        for path in sorted(cache.root.glob("*.json")):
+        for doc in cache.iter_docs():
             try:
-                doc = json.loads(path.read_text())
                 seconds = doc["seconds"]
                 query = DesignQuery.from_key(doc["query"])
             except Exception:  # noqa: BLE001 — fitting is best-effort
@@ -206,6 +368,29 @@ class CostModel:
             if isinstance(seconds, (int, float)):
                 model.observe(query, float(seconds), trace_engine=produced_by)
         return model
+
+
+def persist_cost_model(cache: "ResultCache", run_model: CostModel) -> None:
+    """Fold this run's measured timings into the cache's persisted model.
+
+    ``run_model`` must contain *only* timings evaluated in this run —
+    cache-hit timings are already represented in the persisted document,
+    and folding them back in would double-count every resume.  Existing
+    rows decay by :data:`COST_MODEL_DECAY` (dropping below
+    :data:`COST_MODEL_FLOOR`), then the fresh rows merge in at full
+    weight.  May raise ``OSError`` (disk full / read-only); callers
+    treat that as a skipped nicety, not a failed sweep.
+    """
+    if cache is None or not run_model.fitted:
+        return
+    merged = CostModel(trace_engine=run_model.trace_engine)
+    merged.absorb_doc(
+        cache.read_meta(COST_MODEL_META_KEY),
+        decay=COST_MODEL_DECAY,
+        floor=COST_MODEL_FLOOR,
+    )
+    merged.absorb_doc(run_model.to_doc())
+    cache.write_meta(COST_MODEL_META_KEY, merged.to_doc())
 
 
 def _mean_static_prior() -> float:
@@ -307,3 +492,121 @@ def plan_chunks_by_kernel(
         [item for chunk in chunk_group for item in chunk]
         for chunk_group in packed
     ]
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One pull unit of the work-stealing dispatcher.
+
+    A lease is a short single-kernel run of points a worker claims as
+    one batch: small enough that a misprediction strands at most a few
+    points on one worker, single-kernel so the worker's per-process
+    context builds the kernel's artifacts once per lease.  ``key`` is
+    the kernel-identity affinity key — the dispatcher *prefers* handing
+    a worker a lease whose key matches artifacts already resident in
+    that worker (PR 4's kernel-major locality as a soft preference
+    instead of a hard partition).
+
+    ``seq`` is the lease's creation rank, the deterministic tiebreaker
+    for equal costs.
+    """
+
+    seq: int
+    key: object
+    items: tuple
+    costs: "tuple[float, ...]"
+
+    @property
+    def cost(self) -> float:
+        return sum(self.costs)
+
+    def split(self, next_seq: int) -> "list[Lease]":
+        """This lease as singleton leases (the steal operation).
+
+        Only *queued* leases are ever split — an in-flight lease belongs
+        to its worker.  Splitting changes nothing about results: records
+        are keyed by point index, so lease composition is invisible to
+        the assembled ResultSet.
+        """
+        return [
+            Lease(seq=next_seq + i, key=self.key, items=(item,), costs=(c,))
+            for i, (item, c) in enumerate(zip(self.items, self.costs))
+        ]
+
+
+#: Hard ceiling on points per lease: even a tiny grid on one worker
+#: never claims more than this many points at once.
+LEASE_MAX_POINTS = 8
+
+#: A point predicted to cost at least ``total / (jobs * this)`` is
+#: isolated into its own lease at plan time (OPT-RA points, big
+#: kernels): it is expected to dominate a worker anyway, and singleton
+#: leases cannot strand cheap siblings behind it.
+LEASE_SINGLETON_SHARE = 8
+
+
+def plan_leases(
+    items: Sequence[T],
+    cost: Callable[[T], float],
+    jobs: int,
+    key: Callable[[T], object],
+    max_points: "int | None" = None,
+) -> "list[Lease]":
+    """Cut ``items`` into a longest-first queue of single-kernel leases.
+
+    Lease size is capped by *point count*, not predicted cost:
+    ``min(8, ceil(n / (jobs * 16)))`` points per lease, so every worker
+    has ~16 pull opportunities even under a uniformly wrong cost model —
+    the model orders the queue, it never gets to concentrate hidden work
+    into one unsplittable unit.  Points whose predicted cost exceeds a
+    ``1 / (jobs * 8)`` share of the total are isolated into singleton
+    leases immediately.
+
+    Deterministic: kernels are taken in first-appearance order, points
+    keep their input order within a kernel, and the final queue sorts by
+    ``(-cost, seq)``.
+    """
+    if jobs < 1:
+        raise ReproError(f"job count must be >= 1, got {jobs}")
+    if not items:
+        return []
+    if max_points is None:
+        max_points = min(
+            LEASE_MAX_POINTS,
+            max(1, -(-len(items) // (jobs * 16))),
+        )
+    if max_points < 1:
+        raise ReproError(f"lease size must be >= 1, got {max_points}")
+    costs = [float(cost(item)) for item in items]
+    total = sum(costs)
+    singleton_floor = total / (jobs * LEASE_SINGLETON_SHARE)
+    groups: "dict[object, list[int]]" = {}
+    for position, item in enumerate(items):
+        groups.setdefault(key(item), []).append(position)
+    leases: "list[Lease]" = []
+
+    def emit(group_key: object, member_positions: "list[int]") -> None:
+        leases.append(Lease(
+            seq=len(leases),
+            key=group_key,
+            items=tuple(items[i] for i in member_positions),
+            costs=tuple(costs[i] for i in member_positions),
+        ))
+
+    for group_key, positions in groups.items():
+        buffer: "list[int]" = []
+        for position in positions:
+            if total > 0 and costs[position] >= singleton_floor:
+                if buffer:
+                    emit(group_key, buffer)
+                    buffer = []
+                emit(group_key, [position])
+                continue
+            buffer.append(position)
+            if len(buffer) >= max_points:
+                emit(group_key, buffer)
+                buffer = []
+        if buffer:
+            emit(group_key, buffer)
+    leases.sort(key=lambda lease: (-lease.cost, lease.seq))
+    return leases

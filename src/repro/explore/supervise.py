@@ -186,12 +186,23 @@ def _evaluate_one(
 def _evaluate_batch(
     items: "list[tuple[DesignQuery, int]]", batch: bool, context: bool,
     trace_engine: str, ladder: bool,
-) -> "list[DesignRecord]":
-    """Worker task: one supervised chunk, one IPC round trip."""
-    return [
+) -> "tuple[list[DesignRecord], tuple]":
+    """Worker task: one supervised chunk/lease, one IPC round trip.
+
+    Returns the records plus the worker's *resident kernel keys* — the
+    artifacts its process-global context holds after this batch.  The
+    dispatcher uses them as the affinity fingerprint of whichever worker
+    frees up next; they carry no result data, so the static path simply
+    ignores them.
+    """
+    from repro.explore.context import process_context
+
+    records = [
         _evaluate_one(query, attempt, batch, context, trace_engine, ladder)
         for query, attempt in items
     ]
+    resident = process_context().resident_kernels() if context else ()
+    return records, resident
 
 
 @dataclass
@@ -243,6 +254,9 @@ class SupervisedDriver:
         self.quarantined = 0
         self.pool_breaks = 0
         self.degraded = False
+        self.steals = 0
+        self.leases = 0
+        self.affinity_hits = 0
 
     # -- shared attribution ------------------------------------------------
 
@@ -415,30 +429,62 @@ class SupervisedDriver:
             return None, finals, attributed
         return self._make_pool(), finals, attributed
 
+    def _pick_lease(self, lease_queue: list, prefs: deque):
+        """Pop the next lease, softly preferring the freed worker's kernels.
+
+        ``prefs`` holds the resident-kernel fingerprints of recently
+        completed workers (oldest first).  A queued lease whose kernel is
+        already resident jumps the cost order — that is the *soft*
+        affinity: a preference among queued leases, never a reservation
+        that could idle a worker.
+        """
+        pref = prefs.popleft() if prefs else None
+        position = 0
+        if pref:
+            for i, lease in enumerate(lease_queue):
+                if lease.key in pref:
+                    position = i
+                    break
+        lease = lease_queue.pop(position)
+        if pref and lease.key in pref:
+            self.affinity_hits += 1
+        return lease
+
     def _drive_pool(
         self,
         pending: "list[tuple[int, DesignQuery]]",
         chunks: "list[list[tuple[int, DesignQuery]]]",
+        leases: "list | None" = None,
     ) -> "Iterator[tuple[int, DesignRecord]]":
         failures: dict[int, int] = {}
         queue: "deque[tuple[int, DesignQuery, float]]" = deque()
+        lease_queue: list = list(leases) if leases is not None else []
+        next_seq = max((lease.seq for lease in lease_queue), default=-1) + 1
+        prefs: "deque[frozenset]" = deque()
         inflight: dict[Future, _Task] = {}
         window = self.jobs
         pool: "ProcessPoolExecutor | None" = self._make_pool()
         clean = False
         try:
-            for chunk in chunks:
-                task = _Task(
-                    items=[(i, q, failures.get(i, 0) + 1) for i, q in chunk],
-                    deadline=self._chunk_deadline([q for _, q in chunk]),
-                )
-                inflight[self._submit(pool, task)] = task
-            while inflight or queue:
+            if leases is None:
+                for chunk in chunks:
+                    task = _Task(
+                        items=[
+                            (i, q, failures.get(i, 0) + 1) for i, q in chunk
+                        ],
+                        deadline=self._chunk_deadline([q for _, q in chunk]),
+                    )
+                    inflight[self._submit(pool, task)] = task
+            while inflight or queue or lease_queue:
                 if pool is None:
                     # Degraded: no more pools — finish what's left inline
                     # (injected faults switch to their inline semantics).
                     leftovers = [(i, q) for i, q, _ in queue]
+                    leftovers.extend(
+                        item for lease in lease_queue for item in lease.items
+                    )
                     queue.clear()
+                    lease_queue.clear()
                     yield from self._drive_inline(leftovers, failures)
                     break
                 now = time.perf_counter()
@@ -457,6 +503,49 @@ class SupervisedDriver:
                         queue.appendleft((index, query, now))
                         submit_failed = True
                         break
+                while (
+                    not submit_failed and lease_queue
+                    and len(inflight) < window
+                ):
+                    # Steal: when free slots outnumber queued leases,
+                    # split the most expensive multi-point lease into
+                    # singletons so no worker idles behind a long tail.
+                    # Only *queued* leases split — in-flight ones belong
+                    # to their worker.
+                    free = window - len(inflight)
+                    while free > len(lease_queue) and any(
+                        len(lease.items) > 1 for lease in lease_queue
+                    ):
+                        victim_at = next(
+                            i for i, lease in enumerate(lease_queue)
+                            if len(lease.items) > 1
+                        )
+                        singles = lease_queue.pop(victim_at).split(next_seq)
+                        next_seq += len(singles)
+                        lease_queue.extend(singles)
+                        lease_queue.sort(
+                            key=lambda lease: (-lease.cost, lease.seq)
+                        )
+                        self.steals += 1
+                    lease = self._pick_lease(lease_queue, prefs)
+                    task = _Task(
+                        items=[
+                            (i, q, failures.get(i, 0) + 1)
+                            for i, q in lease.items
+                        ],
+                        deadline=self._chunk_deadline(
+                            [q for _, q in lease.items]
+                        ),
+                    )
+                    try:
+                        inflight[self._submit(pool, task)] = task
+                        self.leases += 1
+                    except BrokenExecutor:
+                        lease_queue.append(lease)
+                        lease_queue.sort(
+                            key=lambda lease: (-lease.cost, lease.seq)
+                        )
+                        submit_failed = True
                 if submit_failed:
                     pool, finals, attributed = self._pool_event(
                         pool, inflight, failures, queue
@@ -479,13 +568,19 @@ class SupervisedDriver:
                 for future in done:
                     task = inflight.pop(future)
                     try:
-                        records = future.result()
+                        records, resident = future.result()
                     except BrokenExecutor:
                         broken = True
                         # Re-insert so the event handler sees the task
                         # (attribution needs the full in-flight picture).
                         inflight[future] = task
                         continue
+                    if leases is not None:
+                        # The freed worker very likely picks up the next
+                        # submission; remember what it has resident.
+                        prefs.append(frozenset(resident))
+                        while len(prefs) > self.jobs:
+                            prefs.popleft()
                     for (index, query, _), record in zip(task.items, records):
                         if record.crash:
                             outcome, final = self._attribute(
@@ -536,7 +631,7 @@ class SupervisedDriver:
                 if not (future.done() and not future.cancelled()):
                     continue
                 try:
-                    records = future.result()
+                    records, _ = future.result()
                 except Exception:
                     continue
                 for (index, _, _), record in zip(task.items, records):
@@ -555,12 +650,25 @@ class SupervisedDriver:
     def drive(
         self,
         pending: "list[tuple[int, DesignQuery]]",
-        chunks: "list[list[tuple[int, DesignQuery]]] | None",
+        chunks: "list[list[tuple[int, DesignQuery]]] | None" = None,
+        leases: "list | None" = None,
     ) -> "Iterator[tuple[int, DesignRecord]]":
-        """Yield ``(index, record)`` for every pending point."""
+        """Yield ``(index, record)`` for every pending point.
+
+        With ``leases`` (a :func:`~repro.explore.schedule.plan_leases`
+        queue) the pool runs the work-stealing dispatcher: leases feed
+        on demand as workers free up, with soft kernel affinity and
+        steal-splitting.  With ``chunks`` the classic plan-then-submit
+        static path runs unchanged.  Either way results are keyed by
+        point index, so the two modes assemble bit-identical
+        ResultSets.
+        """
         if not pending:
             return
         if self.jobs == 1:
             yield from self._drive_inline(pending)
+            return
+        if leases is not None:
+            yield from self._drive_pool(pending, [], leases=leases)
             return
         yield from self._drive_pool(pending, chunks or [pending])

@@ -25,6 +25,18 @@ shared.  This check flags the constructs that break either property:
     swallows ``BaseException`` — including ``KeyboardInterrupt`` and
     the pool's own teardown exceptions — so a dying worker or an
     interrupt can be silently eaten instead of recovered from.
+``sqlite-connection-at-import``
+    A module-level ``sqlite3.connect(...)``: the connection is created
+    at import time, so every forked pool worker inherits a *copy* of
+    the parent's connection — and SQLite connections must never be
+    used from a process other than the one that opened them.
+    Connections belong in instance state, opened lazily per process
+    (see :class:`repro.explore.backends.SqliteBackend`).
+
+Modules that import ``sqlite3`` join the checked cone even when they
+sit outside the evaluation cone proper: a cache backend shared by
+concurrent sweeps has the same hidden-module-state hazards as a pool
+work unit.
 """
 
 from __future__ import annotations
@@ -90,6 +102,22 @@ def _drives_pools(tree: ast.Module) -> bool:
     return any(True for _ in _pool_submissions(tree))
 
 
+def _imports_sqlite(tree: ast.Module) -> bool:
+    """Whether a module imports ``sqlite3`` (directly or from-import)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name == "sqlite3" or
+                   alias.name.startswith("sqlite3.")
+                   for alias in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "sqlite3" or (
+                node.module or ""
+            ).startswith("sqlite3."):
+                return True
+    return False
+
+
 def _pool_submissions(tree: ast.Module):
     """``(call node, submitted callable)`` for pool submit/map calls."""
     for node in ast.walk(tree):
@@ -111,7 +139,10 @@ def check_worker_safety(context: LintContext) -> Iterable[Finding]:
         yield from _check_submissions(context, unit)
         if _drives_pools(unit.tree):
             yield from _check_bare_except(context, unit)
-        if name in cone:
+        uses_sqlite = _imports_sqlite(unit.tree)
+        if uses_sqlite:
+            yield from _check_sqlite_connections(context, unit)
+        if name in cone or uses_sqlite:
             yield from _check_module_state(context, unit)
 
 
@@ -172,6 +203,35 @@ def _check_bare_except(
                 ),
                 path=path, line=node.lineno,
                 hint="catch 'Exception' (or the specific error) instead",
+            )
+
+
+def _check_sqlite_connections(
+    context: LintContext, unit: ModuleUnit
+) -> Iterable[Finding]:
+    path = context.relpath(unit)
+    for node in unit.tree.body:
+        value = None
+        if isinstance(node, ast.Assign):
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            value = node.value
+        if not (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)):
+            continue
+        if value.func.attr == "connect" and (
+            dotted_path(value.func.value) == "sqlite3"
+        ):
+            yield Finding(
+                check="worker-safety", code="sqlite-connection-at-import",
+                message=(
+                    "module-level sqlite3.connect(): forked pool workers "
+                    "inherit a copy of the parent's connection, and SQLite "
+                    "connections must not be used from another process"
+                ),
+                path=path, line=value.lineno,
+                hint="open the connection lazily in instance state, one "
+                "per process",
             )
 
 

@@ -1,0 +1,18 @@
+"""Positive example: sqlite3 hazards outside the evaluation cone.
+
+Importing ``sqlite3`` marks a module as shared-cache machinery: an
+import-time connection is flagged (forked workers inherit a copy of
+the parent's connection), and the module joins the
+``mutable-global-state`` cone even though no evaluation reaches it.
+"""
+
+import sqlite3
+
+CONN = sqlite3.connect(":memory:")
+
+_STATEMENTS = []
+
+
+def record(sql):
+    _STATEMENTS.append(sql)
+    return CONN.execute(sql)

@@ -1,0 +1,284 @@
+"""Cache backend tests (PR 10): DirBackend/SqliteBackend parity.
+
+Both backends must be observably identical through the
+:class:`ResultCache` facade — same format-3 entry docs, same
+corruption/quarantine behaviour, same fsck/gc accounting, same
+cost-model persistence — and the SQLite backend must additionally
+survive two *processes* sweeping disjoint shards into one database
+file concurrently.
+"""
+
+import errno
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.explore import (
+    CacheCorruptionWarning,
+    DeadlinePolicy,
+    DirBackend,
+    Executor,
+    ExplorationSpace,
+    ResultCache,
+    RetryPolicy,
+    SqliteBackend,
+    backend_for,
+)
+
+SPACE = ExplorationSpace(
+    kernels=("fir", "mat"), allocators=("FR-RA", "NO-SR"), budgets=(8,)
+)
+QUERIES = SPACE.expand()
+TARGET = QUERIES[0]
+
+FAST = dict(
+    deadlines=DeadlinePolicy(timeout_factor=1.0, floor=2.5, ceiling=2.5),
+    retry=RetryPolicy(max_retries=2, backoff=0.0),
+)
+
+BACKENDS = ("dir", "sqlite")
+
+
+def make_cache(tmp_path, backend):
+    if backend == "dir":
+        return ResultCache(tmp_path / "cache")
+    return ResultCache(f"sqlite:{tmp_path / 'cache.db'}")
+
+
+def sweep(cache=None, **kwargs):
+    opts = dict(FAST)
+    opts.update(kwargs)
+    return Executor(cache=cache, **opts).run(SPACE)
+
+
+def docs(result):
+    return [record.to_dict() for record in result.records]
+
+
+# -- backend resolution -------------------------------------------------------
+
+
+def test_backend_for_resolution(tmp_path):
+    assert isinstance(backend_for(f"sqlite:{tmp_path}/c.db"), SqliteBackend)
+    assert isinstance(backend_for(f"dir:{tmp_path}/c"), DirBackend)
+    assert isinstance(backend_for(tmp_path / "c"), DirBackend)
+    assert isinstance(backend_for(str(tmp_path / "c")), DirBackend)
+    passthrough = DirBackend(tmp_path / "c")
+    assert backend_for(passthrough) is passthrough
+    with pytest.raises(ReproError):
+        backend_for("sqlite:")
+
+
+def test_sqlite_missing_db_is_a_plain_miss(tmp_path):
+    db = tmp_path / "absent.db"
+    cache = ResultCache(f"sqlite:{db}")
+    assert cache.get(TARGET) is None
+    assert len(cache) == 0
+    # A pure read must not materialize the database file.
+    assert not db.exists()
+
+
+def test_path_for_rejects_non_directory_backends(tmp_path):
+    cache = ResultCache(f"sqlite:{tmp_path / 'c.db'}")
+    with pytest.raises(ReproError, match="directory"):
+        cache.path_for(TARGET)
+
+
+def test_sqlite_os_error_translation():
+    exc = SqliteBackend._os_error(Exception("database or disk is full"))
+    assert isinstance(exc, OSError) and exc.errno == errno.ENOSPC
+    exc = SqliteBackend._os_error(
+        Exception("attempt to write a readonly database")
+    )
+    assert isinstance(exc, OSError) and exc.errno == errno.EROFS
+
+
+# -- parity through the ResultCache facade ------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sweep_roundtrip_and_resume(backend, tmp_path):
+    reference = sweep()
+    cache = make_cache(tmp_path, backend)
+    first = sweep(cache=cache)
+    assert first.stats.evaluated == len(QUERIES)
+    assert len(cache) == len(QUERIES)
+    resumed = sweep(cache=make_cache(tmp_path, backend))
+    assert resumed.stats.cache_hits == len(QUERIES)
+    assert resumed.stats.evaluated == 0
+    assert docs(resumed) == docs(first) == docs(reference)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_corruption_quarantines_and_heals(backend, tmp_path):
+    cache = make_cache(tmp_path, backend)
+    sweep(cache=cache)
+    cache.corrupt_entry(TARGET)
+    with pytest.warns(CacheCorruptionWarning, match="quarantined corrupted"):
+        resumed = sweep(cache=make_cache(tmp_path, backend))
+    assert resumed.stats.cache_hits == len(QUERIES) - 1
+    assert resumed.stats.evaluated == 1  # the poisoned point re-ran
+    fresh = make_cache(tmp_path, backend)
+    assert len(fresh.backend.quarantined()) == 1
+    assert fresh.get(TARGET) is not None  # healed by the re-evaluation
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fsck_reports_and_repairs(backend, tmp_path):
+    cache = make_cache(tmp_path, backend)
+    sweep(cache=cache)
+    cache.corrupt_entry(TARGET)
+    report = cache.fsck(repair=False)
+    assert report.scanned == len(QUERIES)
+    assert report.ok == len(QUERIES) - 1
+    assert len(report.corrupt) == 1
+    assert report.quarantined == 0
+    assert not report.clean
+    assert len(cache.backend.quarantined()) == 0  # report-only
+    repaired = cache.fsck(repair=True)
+    assert len(repaired.corrupt) == 1
+    assert repaired.quarantined == 1
+    assert len(cache.backend.quarantined()) == 1
+    assert len(cache) == len(QUERIES) - 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_gc_prunes_quarantine_and_stale_formats(backend, tmp_path):
+    cache = make_cache(tmp_path, backend)
+    sweep(cache=cache)
+    cache.corrupt_entry(TARGET)
+    cache.fsck(repair=True)  # -> one quarantined blob
+    valid = len(cache)  # the repaired cache: every query but the poisoned one
+    stale = {"format": 2, "query": {}, "record": {}, "versions": {}}
+    cache.backend.write("0" * 16, json.dumps(stale))
+    assert len(cache) == valid + 1
+
+    # Young garbage survives a 30-day cutoff...
+    untouched = cache.gc(days=30)
+    assert untouched.quarantine_removed == 0
+    assert untouched.stale_removed == 0
+    # ...and falls to an immediate one.
+    time.sleep(0.05)
+    report = cache.gc(days=0)
+    assert report.quarantine_removed == 1
+    assert report.stale_removed == 1
+    assert report.bytes_reclaimed > 0
+    assert "gc: pruned 1 quarantined + 1 stale-format entries" in (
+        report.summary()
+    )
+    assert len(cache.backend.quarantined()) == 0
+    assert len(cache) == valid  # valid entries never touched
+    with pytest.raises(ReproError):
+        cache.gc(days=-1)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cost_model_persists_and_decays(backend, tmp_path):
+    cache = make_cache(tmp_path, backend)
+    sweep(cache=cache)
+    doc = cache.read_meta("cost_model")
+    assert doc is not None and doc["version"] == 1
+    assert doc["rows"]
+    assert all(
+        row["weight"] == pytest.approx(1.0) for row in doc["rows"]
+    )
+
+    # An all-hits resume times nothing: the fitted model is untouched.
+    sweep(cache=make_cache(tmp_path, backend))
+    assert cache.read_meta("cost_model") == doc
+
+    # A forced re-evaluation decays the old mass (x0.5) and stacks the
+    # fresh run's rows (+1.0) on top.
+    sweep(cache=make_cache(tmp_path, backend), reuse_cache=False)
+    redoc = cache.read_meta("cost_model")
+    assert all(
+        row["weight"] == pytest.approx(1.5) for row in redoc["rows"]
+    )
+
+
+# -- two processes, one SQLite file -------------------------------------------
+
+
+def _spawn_shard(db, shard):
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parent.parent
+    env["PYTHONPATH"] = str(root / "src")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "explore",
+            "--kernels", "fir", "mat",
+            "--allocators", "FR-RA", "NO-SR",
+            "--budgets", "8", "16",
+            "--cache-dir", f"sqlite:{db}",
+            "--shard", shard, "--jobs", "1",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def test_two_process_sqlite_concurrency(tmp_path):
+    """Two sweeps, one database: disjoint shards written concurrently
+    from separate processes, then stitched by an unsharded resume with
+    100% hits and records identical to a fresh uncached sweep."""
+    db = tmp_path / "shared.db"
+    grid = ExplorationSpace(
+        kernels=("fir", "mat"),
+        allocators=("FR-RA", "NO-SR"),
+        budgets=(8, 16),
+    )
+    procs = [_spawn_shard(db, "1/2"), _spawn_shard(db, "2/2")]
+    for proc in procs:
+        out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, f"shard failed:\n{out}\n{err}"
+
+    opts = dict(FAST)
+    stitched = Executor(cache=f"sqlite:{db}", **opts).run(grid)
+    assert stitched.stats.cache_hits == len(grid.expand()) == 8
+    assert stitched.stats.evaluated == 0
+    fresh = Executor(**opts).run(grid)
+    assert docs(stitched) == docs(fresh)
+
+
+# -- CLI surfaces -------------------------------------------------------------
+
+
+def test_cli_sqlite_cache_dir(capsys, tmp_path):
+    db = tmp_path / "cli.db"
+    code = main([
+        "explore", "--kernels", "fir", "--allocators", "FR-RA",
+        "--budgets", "8", "--cache-dir", f"sqlite:{db}",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert db.exists()
+    code = main([
+        "explore", "--kernels", "fir", "--allocators", "FR-RA",
+        "--budgets", "8", "--cache-dir", f"sqlite:{db}",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "1 cache hits" in captured.err
+
+
+def test_cli_cache_fsck_gc(capsys, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    sweep(cache=cache)
+    cache.corrupt_entry(TARGET)
+    cache.fsck(repair=True)
+    time.sleep(0.05)
+    code = main([
+        "cache", "fsck", str(tmp_path / "cache"), "--gc", "--gc-days", "0",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "gc: pruned 1 quarantined" in out

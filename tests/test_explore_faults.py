@@ -114,10 +114,15 @@ def test_kill_rebuilds_the_pool(jobs):
 # -- quarantine matrix: fault outlives the retry budget -----------------------
 
 
+@pytest.mark.parametrize("backend", ["dir", "sqlite"])
 @pytest.mark.parametrize("jobs", [1, 2])
 @pytest.mark.parametrize("kind", ["crash", "hang", "kill"])
-def test_quarantine_matrix(kind, jobs, baseline, tmp_path):
-    cache = ResultCache(tmp_path / "cache")
+def test_quarantine_matrix(kind, jobs, backend, baseline, tmp_path):
+    root = (
+        tmp_path / "cache" if backend == "dir"
+        else f"sqlite:{tmp_path / 'cache.db'}"
+    )
+    cache = ResultCache(root)
     result = sweep(
         jobs=jobs, faults=plan_for(kind, fires=5), max_retries=1, cache=cache
     )

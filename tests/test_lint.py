@@ -175,6 +175,21 @@ def test_bare_except_flagged_in_pool_driving_module():
     ]
 
 
+def test_sqlite_module_joins_the_cone():
+    assert triples(fixture_report(), "sqlite_conn.py") == [
+        ("worker-safety", "sqlite-connection-at-import", 11),
+        ("worker-safety", "mutable-global-state", 17),
+    ]
+    # Modules without sqlite3 stay out of the extended cone: the
+    # non-cone fixtures with module containers are not re-flagged.
+    report = fixture_report(checks=["worker-safety"])
+    flagged = {
+        f.path for f in report.findings
+        if f.code == "sqlite-connection-at-import"
+    }
+    assert flagged == {"lintfix/sqlite_conn.py"}
+
+
 def test_suppression_semantics():
     report = fixture_report()
     by_line = {
@@ -195,8 +210,8 @@ def test_suppression_semantics():
     # The bare comment still silences the wall-clock it covers...
     assert by_line[15].suppressed
     # ...but the corpus as a whole does not pass: hygiene keeps it red.
-    assert len(report.unsuppressed) == 19
-    assert len(report.findings) == 21
+    assert len(report.unsuppressed) == 21
+    assert len(report.findings) == 23
 
 
 def test_check_filter_still_runs_hygiene():
@@ -249,7 +264,7 @@ def test_cli_fixtures_strict_fails_with_json(capsys, tmp_path):
     )
     assert code == 1
     doc = json.loads(out)
-    assert doc["unsuppressed"] == 19
+    assert doc["unsuppressed"] == 21
     assert json.loads(out_path.read_text()) == doc
 
 
